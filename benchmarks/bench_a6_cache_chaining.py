@@ -1,0 +1,12 @@
+"""§A.6 — effect of caching small-model refinements on future quality."""
+
+from conftest import run_experiment
+from repro.experiments.tables import a6_small_model_cache_quality
+
+
+def test_a6_cache_chaining(benchmark, ctx):
+    result = run_experiment(benchmark, a6_small_model_cache_quality, ctx)
+    clip = {r["stage2_cache"]: r["stage3_hit_clip"] for r in result.rows}
+    # Paper: 29.63 / 28.58 / 28.32 — caching refined images costs little.
+    drop = clip["full-SD3.5L"] - clip["refine-SDXL"]
+    assert drop < 1.5

@@ -1,0 +1,62 @@
+"""Ablation: FIFO sliding-window vs utility-based cache maintenance (§5.4).
+
+The paper argues FIFO matches utility-based eviction on production traces
+(temporal locality makes recency the right signal) while keeping the cache
+diverse.  This bench replays the same trace under both policies.
+"""
+
+import numpy as np
+
+from repro.experiments.reporting import ExperimentResult
+
+import os
+
+
+def _save(result: ExperimentResult) -> None:
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, f"{result.experiment_id}.txt")
+    with open(path, "w") as handle:
+        handle.write(result.render() + "\n")
+
+
+def _run_policy(ctx, policy: str):
+    trace = ctx.diffusiondb()
+    warm, serve = ctx.split(trace)
+    run = ctx.modm_cache_run(
+        cache_capacity=max(2, ctx.scale.cache_capacity // 4),
+        cache_policy=policy,
+    )
+    run.warm(warm)
+    run.serve(
+        [r.prompt for r in serve],
+        [r.arrival_s for r in serve],
+    )
+    reuse = [e.hits for e in run.cache.entries()]
+    return {
+        "policy": policy,
+        "hit_rate": run.hit_rate(),
+        "max_entry_reuse": int(max(reuse) if reuse else 0),
+        "mean_entry_reuse": float(np.mean(reuse)) if reuse else 0.0,
+    }
+
+
+def test_ablation_cache_policy(benchmark, ctx):
+    def experiment():
+        result = ExperimentResult(
+            experiment_id="ablation-cache-policy",
+            title="FIFO vs utility-based cache maintenance",
+            paper_reference="§5.4: FIFO performs as well and stays diverse",
+        )
+        for policy in ("fifo", "utility"):
+            result.add_row(**_run_policy(ctx, policy))
+        return result
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    _save(result)
+    rows = {r["policy"]: r for r in result.rows}
+    # The paper's §5.4 finding: the simple FIFO sliding window keeps pace
+    # with utility-based eviction on production-like traces.
+    assert rows["fifo"]["hit_rate"] >= rows["utility"]["hit_rate"] - 0.05

@@ -1,0 +1,97 @@
+"""Ablations: monitor operating mode and PID stabilization (§5.3).
+
+* Quality- vs throughput-optimized allocation on a moderate load: quality
+  mode keeps more large-model workers (better quality) while throughput
+  mode minimizes GPU time per request.
+* PID on vs off: without damping the allocation jumps with every noisy
+  window estimate.
+"""
+
+import numpy as np
+
+from repro.core.config import MonitorMode
+from repro.experiments.harness import CLUSTER_MI210
+from repro.experiments.reporting import ExperimentResult
+
+import os
+
+
+def _save(result: ExperimentResult) -> None:
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, f"{result.experiment_id}.txt")
+    with open(path, "w") as handle:
+        handle.write(result.render() + "\n")
+from repro.cluster.arrivals import poisson_arrivals
+
+
+def _run(ctx, mode, use_pid, trace, warm):
+    system = ctx.modm(
+        CLUSTER_MI210,
+        smalls=("sdxl",),
+        mode=mode,
+        use_pid=use_pid,
+    )
+    system.warm_cache(warm)
+    report = system.run(trace)
+    large_share = np.mean([a.n_large for a in report.allocations])
+    switches = sum(w.switches for w in report.workers)
+    refined_by_large = sum(
+        1
+        for r in report.completed()
+        if r.is_hit and r.model_name == "sd3.5-large"
+    )
+    return report, large_share, switches, refined_by_large
+
+
+def test_ablation_monitor_mode_and_pid(benchmark, ctx):
+    trace_full = ctx.diffusiondb()
+    warm, serve = ctx.split(trace_full)
+    serve = serve.slice(0, max(100, len(serve) // 2))
+    arrivals = poisson_arrivals(8.0, len(serve), seed="ablation-monitor")
+    timed = serve.with_arrivals(arrivals)
+
+    def experiment():
+        result = ExperimentResult(
+            experiment_id="ablation-monitor",
+            title="Monitor mode and PID stabilization",
+            paper_reference="§5.3: two modes; PID damps reallocation",
+        )
+        for mode in (MonitorMode.QUALITY, MonitorMode.THROUGHPUT):
+            report, large_share, switches, refined_large = _run(
+                ctx, mode, True, timed, warm
+            )
+            result.add_row(
+                config=f"{mode.value}+pid",
+                mean_n_large=large_share,
+                model_switches=switches,
+                hits_refined_by_large=refined_large,
+                p99_s=float(np.percentile(report.latencies(), 99)),
+            )
+        report, large_share, switches, refined_large = _run(
+            ctx, MonitorMode.THROUGHPUT, False, timed, warm
+        )
+        result.add_row(
+            config="throughput+no-pid",
+            mean_n_large=large_share,
+            model_switches=switches,
+            hits_refined_by_large=refined_large,
+            p99_s=float(np.percentile(report.latencies(), 99)),
+        )
+        return result
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    _save(result)
+    rows = {r["config"]: r for r in result.rows}
+    # Quality mode holds more large-model workers at moderate load.
+    assert (
+        rows["quality+pid"]["mean_n_large"]
+        >= rows["throughput+pid"]["mean_n_large"]
+    )
+    # Disabling the PID never reduces model switching.
+    assert (
+        rows["throughput+no-pid"]["model_switches"]
+        >= rows["throughput+pid"]["model_switches"]
+    )

@@ -1,0 +1,11 @@
+"""Fig. 3 — qualitative retrieval mismatches."""
+
+from conftest import run_experiment
+from repro.experiments.figures import fig3_retrieval_examples
+
+
+def test_fig3_retrieval_examples(benchmark, ctx):
+    result = run_experiment(benchmark, fig3_retrieval_examples, ctx)
+    assert result.rows, "expected mismatch examples"
+    for row in result.rows:
+        assert row["t2i_clip"] >= row["t2t_clip"]

@@ -1,0 +1,16 @@
+"""Fig. 5 — quality factor vs similarity and derived k thresholds."""
+
+from conftest import run_experiment
+from repro.experiments.figures import fig5_quality_vs_similarity
+
+
+def test_fig5_quality_vs_similarity(benchmark, ctx):
+    result = run_experiment(benchmark, fig5_quality_vs_similarity, ctx)
+    curves = [r for r in result.rows if isinstance(r["k"], int)]
+    # At fixed k, quality rises with similarity (Fig. 5a slope).
+    for row in curves:
+        assert row["factor_q4"] >= row["factor_q1"] - 0.05
+    # High-k refinement is most sensitive to poor retrievals.
+    k30 = next(r for r in curves if r["k"] == 30)
+    k5 = next(r for r in curves if r["k"] == 5)
+    assert k30["factor_q1"] < k5["factor_q1"] + 0.05

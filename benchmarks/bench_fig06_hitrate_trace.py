@@ -1,0 +1,14 @@
+"""Fig. 6 — cumulative hit rate over the trace at two cache sizes."""
+
+from conftest import run_experiment
+from repro.experiments.figures import fig6_hit_rate_over_trace
+
+
+def test_fig6_hit_rate_over_trace(benchmark, ctx):
+    result = run_experiment(benchmark, fig6_hit_rate_over_trace, ctx)
+    last = result.rows[-1]
+    rates = [v for k, v in last.items() if k.startswith("hit_rate")]
+    # Hit rate is high and consistent across cache sizes (paper's point
+    # that a subset of the trace generalizes).
+    assert all(r > 0.5 for r in rates)
+    assert max(rates) - min(rates) < 0.25

@@ -1,0 +1,17 @@
+"""Fig. 7 — normalized throughput, SD3.5-Large vanilla."""
+
+from conftest import run_experiment
+from repro.experiments.figures import fig7_throughput
+
+
+def test_fig7_throughput(benchmark, ctx):
+    result = run_experiment(benchmark, fig7_throughput, ctx)
+    ddb = {
+        r["system"]: r["normalized"]
+        for r in result.rows
+        if r["dataset"] == "diffusiondb"
+    }
+    # Paper: 1.0 / 1.2 / 1.8 / 2.5 / 3.2.
+    assert 1.0 < ddb["Nirvana"] < 1.6
+    assert ddb["MoDM-SDXL"] > 1.9
+    assert ddb["MoDM-SANA"] > ddb["MoDM-SDXL"]

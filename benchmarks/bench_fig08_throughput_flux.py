@@ -1,0 +1,13 @@
+"""Fig. 8 — normalized throughput, FLUX vanilla."""
+
+from conftest import run_experiment
+from repro.experiments.figures import fig8_throughput_flux
+
+
+def test_fig8_throughput_flux(benchmark, ctx):
+    result = run_experiment(benchmark, fig8_throughput_flux, ctx)
+    norm = {r["system"]: r["normalized"] for r in result.rows}
+    # Paper: 1.0 / 1.2 / 2.0 / 2.4 / 2.9.
+    assert norm["MoDM-SDXL"] > 1.8
+    assert norm["MoDM-SANA"] > norm["MoDM-SDXL"]
+    assert norm["Nirvana"] > 1.0

@@ -1,0 +1,18 @@
+"""Fig. 9 — hit rates and k mix vs cache size (DiffusionDB)."""
+
+from conftest import run_experiment
+from repro.experiments.figures import fig9_cache_hit_rates
+
+
+def test_fig9_cache_hit_rates(benchmark, ctx):
+    result = run_experiment(benchmark, fig9_cache_hit_rates, ctx)
+    largest = max(r["cache_size"] for r in result.rows)
+    at_largest = {
+        r["system"]: r["hit_rate"]
+        for r in result.rows
+        if r["cache_size"] == largest
+    }
+    # MoDM beats Nirvana; cache-all beats cache-large (paper's insights).
+    assert at_largest["modm-cache-all"] >= at_largest["modm-cache-large"]
+    assert at_largest["modm-cache-all"] > at_largest["nirvana"]
+    assert at_largest["modm-cache-all"] > 0.75

@@ -1,0 +1,13 @@
+"""Fig. 10 — throughput under ramping demand with model switching."""
+
+from conftest import run_experiment
+from repro.experiments.figures import fig10_increasing_load
+
+
+def test_fig10_increasing_load(benchmark, ctx):
+    result = run_experiment(benchmark, fig10_increasing_load, ctx)
+    # Judge at the peak-demand bucket (the final bucket can be a partial
+    # window at the run horizon).
+    peak = max(result.rows, key=lambda r: r["demand_rpm"])
+    assert peak["modm"] > peak["vanilla"] * 1.5
+    assert peak["modm"] > 0.7 * peak["demand_rpm"]

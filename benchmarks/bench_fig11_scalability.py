@@ -1,0 +1,14 @@
+"""Fig. 11 — throughput scaling with GPU count (super-linear)."""
+
+from conftest import run_experiment
+from repro.experiments.figures import fig11_scalability
+
+
+def test_fig11_scalability(benchmark, ctx):
+    result = run_experiment(benchmark, fig11_scalability, ctx)
+    first, last = result.rows[0], result.rows[-1]
+    # Monotone scaling, and at least linear at the top end (the paper
+    # reports super-linear thanks to faster cache fill).
+    norms = [r["normalized"] for r in result.rows]
+    assert all(b >= a - 0.05 for a, b in zip(norms, norms[1:]))
+    assert last["normalized"] >= 0.9 * last["linear_reference"]

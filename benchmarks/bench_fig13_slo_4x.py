@@ -1,0 +1,17 @@
+"""Fig. 13 — SLO violation rate at 4x the large model latency."""
+
+from conftest import run_experiment
+from repro.experiments.figures import fig13_slo_4x
+
+
+def test_fig13_slo_4x(benchmark, ctx):
+    result = run_experiment(benchmark, fig13_slo_4x, ctx)
+    mi210 = [r for r in result.rows if r["gpu"] == "MI210"]
+    top_rate = max(r["rate_rpm"] for r in mi210)
+    at_top = {
+        r["system"]: r["violation_4x"]
+        for r in mi210
+        if r["rate_rpm"] == top_rate
+    }
+    assert at_top["modm"] < 0.5
+    assert at_top["vanilla"] > at_top["modm"]

@@ -1,0 +1,15 @@
+"""Fig. 14 — quality-performance trade-off space (FLUX)."""
+
+from conftest import run_experiment
+from repro.experiments.figures import fig14_tradeoff
+
+
+def test_fig14_tradeoff(benchmark, ctx):
+    result = run_experiment(benchmark, fig14_tradeoff, ctx)
+    by_config = {r["config"]: r for r in result.rows}
+    flux = by_config["FLUX"]
+    # MoDM points dominate the standalone large model on speed while
+    # staying far below standalone small models on FID (Pareto frontier).
+    modm = by_config["MoDM-SDXL-cachelarge"]
+    assert modm["inv_throughput"] < flux["inv_throughput"]
+    assert modm["fid"] < by_config["SDXL"]["fid"]

@@ -1,0 +1,13 @@
+"""Fig. 15 — temporal locality of cache hits."""
+
+from conftest import run_experiment
+from repro.experiments.figures import fig15_temporal_locality
+
+
+def test_fig15_temporal_locality(benchmark, ctx):
+    result = run_experiment(benchmark, fig15_temporal_locality, ctx)
+    within4 = next(
+        r["fraction"] for r in result.rows if r["hours"] == "<=4h"
+    )
+    # Paper: >90% of hits retrieve images generated within four hours.
+    assert within4 > 0.85

@@ -1,0 +1,14 @@
+"""Fig. 16 — P99 tail latency vs request rate."""
+
+from conftest import run_experiment
+from repro.experiments.figures import fig16_tail_latency
+
+
+def test_fig16_tail_latency(benchmark, ctx):
+    result = run_experiment(benchmark, fig16_tail_latency, ctx)
+    mi210 = [r for r in result.rows if r["gpu"] == "MI210"]
+    top_rate = max(r["rate_rpm"] for r in mi210)
+    at_top = {
+        r["system"]: r["p99_s"] for r in mi210 if r["rate_rpm"] == top_rate
+    }
+    assert at_top["modm"] < at_top["vanilla"] / 2

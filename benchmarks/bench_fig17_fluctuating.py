@@ -1,0 +1,16 @@
+"""Fig. 17 — throughput under fluctuating request rates."""
+
+import numpy as np
+
+from conftest import run_experiment
+from repro.experiments.figures import fig17_fluctuating
+
+
+def test_fig17_fluctuating(benchmark, ctx):
+    result = run_experiment(benchmark, fig17_fluctuating, ctx)
+    demand = np.array([r["demand_rpm"] for r in result.rows])
+    modm = np.array([r["modm"] for r in result.rows])
+    vanilla = np.array([r["vanilla"] for r in result.rows])
+    # MoDM serves a larger share of offered load across the schedule.
+    assert modm.sum() > vanilla.sum()
+    assert modm.sum() > 0.7 * demand.sum()

@@ -1,0 +1,13 @@
+"""Fig. 18 — energy savings vs Vanilla."""
+
+from conftest import run_experiment
+from repro.experiments.figures import fig18_energy
+
+
+def test_fig18_energy(benchmark, ctx):
+    result = run_experiment(benchmark, fig18_energy, ctx)
+    savings = {r["system"]: r["savings_pct"] for r in result.rows}
+    # Paper: Nirvana 23.9%, MoDM-SDXL 46.7%, MoDM-SANA 66.3%.
+    assert 0 < savings["nirvana"] < savings["modm-sdxl"]
+    assert savings["modm-sdxl"] < savings["modm-sana"]
+    assert savings["modm-sana"] > 40.0

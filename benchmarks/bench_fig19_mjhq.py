@@ -1,0 +1,20 @@
+"""Fig. 19 — MJHQ hit rates (no temporal locality)."""
+
+from conftest import run_experiment
+from repro.experiments.figures import fig19_mjhq_hit_rates
+
+
+def test_fig19_mjhq_hit_rates(benchmark, ctx):
+    result = run_experiment(benchmark, fig19_mjhq_hit_rates, ctx)
+    largest = max(r["cache_size"] for r in result.rows)
+    at_largest = {
+        r["system"]: r["hit_rate"]
+        for r in result.rows
+        if r["cache_size"] == largest
+    }
+    # Without temporal locality, caching small-model outputs buys little.
+    gap = abs(
+        at_largest["modm-cache-all"] - at_largest["modm-cache-large"]
+    )
+    assert gap < 0.15
+    assert at_largest["modm-cache-all"] >= at_largest["nirvana"] - 0.05

@@ -1,0 +1,12 @@
+"""Table 3 — image quality with FLUX as the large model."""
+
+from conftest import run_experiment
+from repro.experiments.tables import table3_image_quality_flux
+
+
+def test_table3_image_quality_flux(benchmark, ctx):
+    result = run_experiment(benchmark, table3_image_quality_flux, ctx)
+    rows = {r["system"]: r for r in result.rows}
+    vanilla = rows["Vanilla (flux.1-dev)"]
+    assert vanilla["fid"] < rows["MoDM-SDXL"]["fid"] < rows["SDXL"]["fid"]
+    assert rows["Pinecone"]["clip"] < vanilla["clip"]

@@ -1,0 +1,56 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the same rows/series the paper reports.  The run scale is controlled by the
+``REPRO_BENCH_SCALE`` environment variable (``smoke`` / ``default`` /
+``paper``; default ``default``) — results always state the scale they ran
+at.  Experiments are deterministic, so a single benchmark round is
+representative; pytest-benchmark captures the wall time of regenerating
+each artefact.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentContext, SCALES
+
+
+def bench_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "default")
+    if scale not in SCALES:
+        raise KeyError(
+            f"REPRO_BENCH_SCALE={scale!r} unknown; choose from "
+            f"{sorted(SCALES)}"
+        )
+    return scale
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext(scale=bench_scale())
+
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def run_experiment(benchmark, fn, ctx, **kwargs):
+    """Run one experiment under pytest-benchmark and print its result.
+
+    The rendered table is also written to ``benchmarks/results/<id>.txt``
+    (pytest captures stdout of passing tests, so the artefacts would
+    otherwise only be visible on failure).
+    """
+    result = benchmark.pedantic(
+        lambda: fn(ctx, **kwargs), rounds=1, iterations=1
+    )
+    rendered = result.render()
+    print()
+    print(rendered)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{result.experiment_id}.txt")
+    with open(path, "w") as handle:
+        handle.write(rendered + "\n")
+    return result

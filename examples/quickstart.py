@@ -1,0 +1,78 @@
+"""Quickstart: serve a DiffusionDB-like trace with MoDM.
+
+Builds a 4-GPU MoDM deployment (SD3.5-Large + SDXL/SANA), warms the image
+cache, replays a production-like trace, and prints the serving summary —
+the 60-second tour of the library.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MoDMConfig, MoDMSystem, VanillaSystem
+from repro.core.config import ClusterConfig
+from repro.embedding import SemanticSpace
+from repro.workloads import DiffusionDBConfig, diffusiondb_trace
+
+
+def main() -> None:
+    space = SemanticSpace()
+
+    # A production-like trace: users iteratively refining prompts.
+    trace = diffusiondb_trace(
+        space,
+        DiffusionDBConfig(n_requests=900, request_rate_per_min=6.0),
+    )
+    warm_prompts = [r.prompt for r in trace.requests[:300]]
+    serve = trace.slice(300).rebase()
+
+    cluster = ClusterConfig(gpu_name="A40", n_workers=4)
+
+    # Baseline: every request runs the full 50-step large model.
+    vanilla = VanillaSystem(space, cluster)
+    vanilla_report = vanilla.run(serve)
+
+    # MoDM: cache final images, refine hits with a small model, let the
+    # PID-stabilized monitor split GPUs between the models.
+    modm = MoDMSystem(
+        space,
+        MoDMConfig(cluster=cluster, cache_capacity=2_000),
+    )
+    modm.warm_cache(warm_prompts)
+    modm_report = modm.run(serve)
+
+    print("=== MoDM quickstart (4x A40, SD3.5-Large + SDXL/SANA) ===")
+    for label, report in (
+        ("vanilla", vanilla_report),
+        ("modm", modm_report),
+    ):
+        latencies = report.latencies()
+        print(
+            f"{label:>8}: served {report.n_completed} requests | "
+            f"throughput {report.throughput_rpm:5.2f}/min | "
+            f"hit rate {report.hit_rate:4.2f} | "
+            f"P50 {np.percentile(latencies, 50):6.1f}s | "
+            f"P99 {np.percentile(latencies, 99):6.1f}s"
+        )
+    # Below saturation both systems serve the offered load, so the win
+    # shows up in latency; under overload it shows up in throughput.
+    latency_gain = np.percentile(
+        vanilla_report.latencies(), 50
+    ) / np.percentile(modm_report.latencies(), 50)
+    print(f"MoDM median-latency improvement: {latency_gain:.1f}x")
+    print(
+        "k distribution over cache hits:",
+        {k: round(v, 2) for k, v in modm_report.k_rates().items()},
+    )
+    print(
+        "final GPU split:",
+        f"{modm_report.allocations[-1].n_large} large /",
+        f"{modm_report.allocations[-1].n_small} small",
+        f"({modm_report.allocations[-1].small_model})",
+    )
+
+
+if __name__ == "__main__":
+    main()

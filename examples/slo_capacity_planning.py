@@ -1,0 +1,102 @@
+"""Capacity planning: how much load can a cluster take within SLO?
+
+The scenario the paper's §7.2 motivates: an operator with a fixed GPU
+budget needs the highest request rate that still meets a latency SLO
+(here 2x the large model's solo inference time).  This example sweeps
+request rates on a 4x A40 cluster and reports the SLO-compliant ceiling
+for Vanilla, Nirvana, and MoDM.
+
+Run:  python examples/slo_capacity_planning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MoDMConfig, MoDMSystem, NirvanaSystem, VanillaSystem
+from repro.cluster.arrivals import poisson_arrivals
+from repro.core.config import ClusterConfig
+from repro.diffusion.registry import get_model
+from repro.embedding import SemanticSpace
+from repro.metrics import slo_violation_rate
+from repro.workloads import DiffusionDBConfig, diffusiondb_trace
+
+RATES_PER_MIN = (3.0, 5.0, 7.0, 9.0)
+SLO_MULTIPLIER = 2.0
+MAX_VIOLATION_RATE = 0.10
+
+
+def build_systems(space, cluster):
+    return {
+        "vanilla": VanillaSystem(space, cluster),
+        "nirvana": NirvanaSystem(space, cluster, cache_capacity=2_000),
+        "modm": MoDMSystem(
+            space,
+            MoDMConfig(
+                cluster=cluster,
+                cache_capacity=2_000,
+                small_models=("sdxl", "sana-1.6b"),
+            ),
+        ),
+    }
+
+
+def main() -> None:
+    space = SemanticSpace()
+    cluster = ClusterConfig(gpu_name="A40", n_workers=4)
+    large = get_model("sd3.5-large")
+    slo_s = SLO_MULTIPLIER * large.service_time_s(
+        cluster.gpu_name, large.total_steps
+    )
+
+    trace = diffusiondb_trace(
+        space, DiffusionDBConfig(n_requests=1_000)
+    )
+    warm = [r.prompt for r in trace.requests[:400]]
+    base = trace.slice(400, 900)
+
+    print(
+        f"SLO: latency <= {slo_s:.0f}s "
+        f"({SLO_MULTIPLIER:.0f}x SD3.5-Large solo inference on A40)"
+    )
+    header = f"{'rate/min':>8} | " + " | ".join(
+        f"{name:>18}" for name in ("vanilla", "nirvana", "modm")
+    )
+    print(header)
+    print("-" * len(header))
+
+    ceilings = {}
+    for rate in RATES_PER_MIN:
+        arrivals = poisson_arrivals(rate, len(base), seed=f"slo-{rate}")
+        timed = base.with_arrivals(arrivals)
+        cells = []
+        for name, system in build_systems(space, cluster).items():
+            if hasattr(system, "warm_cache"):
+                system.warm_cache(warm)
+            report = system.run(timed)
+            violation = slo_violation_rate(
+                report.latencies(), slo_s
+            ).violation_rate
+            p99 = float(np.percentile(report.latencies(), 99))
+            ok = violation <= MAX_VIOLATION_RATE
+            if ok:
+                ceilings[name] = rate
+            cells.append(
+                f"{violation*100:5.1f}% viol, p99 {p99:6.0f}s"
+            )
+        print(f"{rate:8.1f} | " + " | ".join(f"{c:>18}" for c in cells))
+
+    print()
+    for name in ("vanilla", "nirvana", "modm"):
+        ceiling = ceilings.get(name)
+        if ceiling is None:
+            print(f"{name:>8}: no tested rate meets the SLO")
+        else:
+            print(
+                f"{name:>8}: sustains up to {ceiling:.0f} req/min "
+                f"within SLO"
+            )
+
+
+if __name__ == "__main__":
+    main()

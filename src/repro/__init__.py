@@ -1,0 +1,71 @@
+"""MoDM reproduction: efficient serving for image generation via a
+mixture of diffusion models.
+
+Public API tour:
+
+* ``repro.embedding`` — CLIP-like dual encoder over a synthetic semantic
+  space (the retrieval substrate).
+* ``repro.diffusion`` — de-noising simulator + model zoo (SD3.5-Large,
+  FLUX, SDXL, SANA, SD3.5L-Turbo) with calibrated latency/quality/energy.
+* ``repro.workloads`` — DiffusionDB-like and MJHQ-like trace generators.
+* ``repro.cluster`` — discrete-event GPU cluster: workers, arrivals,
+  energy metering, sliding-window stats.
+* ``repro.core`` — the paper's contribution: image cache, text-to-image
+  retrieval, k-selection, request scheduler, PID-stabilized global
+  monitor, the MoDM serving system, and all baselines.
+* ``repro.metrics`` — CLIPScore, FID, Inception Score, PickScore, and
+  serving metrics (tail latency, SLO compliance, throughput).
+* ``repro.experiments`` — one entry point per paper table and figure.
+
+Quickstart::
+
+    from repro import quickstart_system
+    from repro.embedding import SemanticSpace
+    from repro.workloads import diffusiondb_trace, DiffusionDBConfig
+
+    space = SemanticSpace()
+    trace = diffusiondb_trace(space, DiffusionDBConfig(n_requests=500))
+    system = quickstart_system(space)
+    system.warm_cache([r.prompt for r in trace][:200])
+    report = system.run(trace)
+    print(report.throughput_rpm, report.hit_rate)
+"""
+
+from repro.core import (
+    MoDMConfig,
+    MoDMSystem,
+    NirvanaSystem,
+    PineconeSystem,
+    VanillaSystem,
+)
+from repro.core.config import CacheAdmission, ClusterConfig, MonitorMode
+from repro.embedding import SemanticSpace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheAdmission",
+    "ClusterConfig",
+    "MoDMConfig",
+    "MoDMSystem",
+    "MonitorMode",
+    "NirvanaSystem",
+    "PineconeSystem",
+    "SemanticSpace",
+    "VanillaSystem",
+    "quickstart_system",
+    "__version__",
+]
+
+
+def quickstart_system(
+    space: SemanticSpace = None,
+    n_workers: int = 4,
+    gpu_name: str = "A40",
+) -> MoDMSystem:
+    """A small ready-to-run MoDM system (SD3.5-Large + SDXL/SANA)."""
+    space = space or SemanticSpace()
+    config = MoDMConfig(
+        cluster=ClusterConfig(gpu_name=gpu_name, n_workers=n_workers)
+    )
+    return MoDMSystem(space, config)

@@ -1,0 +1,32 @@
+"""Discrete-event GPU-cluster substrate.
+
+The paper serves on 4xA40 and 16-node x 4xMI210 clusters with PyTorch-RPC
+worker processes.  This package provides the offline equivalent: a
+deterministic discrete-event simulation with GPU workers that host one model
+at a time (switching costs load time), arrival processes (Poisson, ramps,
+fluctuating schedules), Zeus-like energy metering, and the sliding-window
+statistics the Global Monitor consumes.
+"""
+
+from repro.cluster.arrivals import (
+    RateSchedule,
+    poisson_arrivals,
+    schedule_arrivals,
+)
+from repro.cluster.energy import EnergyMeter, EnergyReport
+from repro.cluster.events import EventLoop
+from repro.cluster.stats import StatsCollector, WindowStats
+from repro.cluster.worker import GPUWorker, Job
+
+__all__ = [
+    "EnergyMeter",
+    "EnergyReport",
+    "EventLoop",
+    "GPUWorker",
+    "Job",
+    "RateSchedule",
+    "StatsCollector",
+    "WindowStats",
+    "poisson_arrivals",
+    "schedule_arrivals",
+]

@@ -1,0 +1,128 @@
+"""Request arrival processes.
+
+The paper models arrivals as a homogeneous Poisson process at varying rates
+(§6) and additionally studies ramping (Fig. 10) and fluctuating (Fig. 17)
+demand.  These helpers produce arrival timestamp vectors for re-timing a
+trace via :meth:`repro.workloads.trace.Trace.with_arrivals`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro._rng import rng_for
+
+
+def poisson_arrivals(
+    rate_per_min: float,
+    n: int,
+    seed: str = "arrivals",
+) -> np.ndarray:
+    """``n`` arrival times from a homogeneous Poisson process."""
+    if rate_per_min <= 0:
+        raise ValueError("rate_per_min must be positive")
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    rng = rng_for("poisson", seed, rate_per_min, n)
+    gaps = rng.exponential(60.0 / rate_per_min, size=n)
+    return np.cumsum(gaps)
+
+
+@dataclass(frozen=True)
+class RateSchedule:
+    """Piecewise-constant request-rate schedule.
+
+    ``segments`` is a sequence of ``(duration_s, rate_per_min)`` pairs; the
+    last segment repeats if more arrivals are needed.
+    """
+
+    segments: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError("schedule needs at least one segment")
+        for duration, rate in self.segments:
+            if duration <= 0:
+                raise ValueError("segment durations must be positive")
+            if rate < 0:
+                raise ValueError("segment rates must be non-negative")
+
+    @classmethod
+    def ramp(
+        cls,
+        start_rate: float,
+        end_rate: float,
+        steps: int,
+        step_duration_s: float,
+    ) -> "RateSchedule":
+        """Linearly increasing demand, as in Fig. 10 (6 -> 26 req/min)."""
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        rates = np.linspace(start_rate, end_rate, steps)
+        return cls(tuple((step_duration_s, float(r)) for r in rates))
+
+    @classmethod
+    def fluctuating(
+        cls,
+        rates: Sequence[float],
+        step_duration_s: float,
+    ) -> "RateSchedule":
+        """Arbitrary up-and-down demand, as in Fig. 17."""
+        return cls(tuple((step_duration_s, float(r)) for r in rates))
+
+    @property
+    def total_duration_s(self) -> float:
+        return float(sum(d for d, _ in self.segments))
+
+    def rate_at(self, t: float) -> float:
+        """Request rate (per minute) in effect at time ``t``."""
+        if t < 0:
+            raise ValueError("t must be non-negative")
+        elapsed = 0.0
+        for duration, rate in self.segments:
+            elapsed += duration
+            if t < elapsed:
+                return rate
+        return self.segments[-1][1]
+
+    def expected_requests(self) -> float:
+        """Expected number of arrivals over one pass of the schedule."""
+        return sum(d * r / 60.0 for d, r in self.segments)
+
+
+def schedule_arrivals(
+    schedule: RateSchedule,
+    n: int,
+    seed: str = "arrivals",
+) -> np.ndarray:
+    """``n`` arrival times from a piecewise-constant Poisson process."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    rng = rng_for("schedule", seed, n)
+    arrivals: List[float] = []
+    t = 0.0
+    while len(arrivals) < n:
+        rate = schedule.rate_at(t)
+        if rate <= 0:
+            # Jump to the next segment boundary; a zero-rate tail would
+            # otherwise never produce the requested arrivals.
+            t = _next_boundary(schedule, t)
+            continue
+        t += rng.exponential(60.0 / rate)
+        arrivals.append(t)
+    return np.array(arrivals)
+
+
+def _next_boundary(schedule: RateSchedule, t: float) -> float:
+    elapsed = 0.0
+    for duration, _ in schedule.segments:
+        elapsed += duration
+        if t < elapsed:
+            return elapsed
+    raise ValueError(
+        "rate schedule ends with a zero-rate segment; cannot generate "
+        "further arrivals"
+    )

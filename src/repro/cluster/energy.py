@@ -1,0 +1,70 @@
+"""Zeus-like energy accounting.
+
+The paper measures per-system energy with Zeus (§A.4).  Workers already
+accumulate busy/load energy as they execute; this module adds the idle-power
+integration over the run's makespan and rolls everything into a report, so
+energy comparisons include both dynamic (model compute) and static (idle
+board power) components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.worker import GPUWorker
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown of one serving run."""
+
+    busy_joules: float
+    load_joules: float
+    idle_joules: float
+    makespan_s: float
+    n_workers: int
+
+    @property
+    def total_joules(self) -> float:
+        return self.busy_joules + self.load_joules + self.idle_joules
+
+    @property
+    def total_kwh(self) -> float:
+        return self.total_joules / 3.6e6
+
+    def savings_vs(self, baseline: "EnergyReport") -> float:
+        """Fractional energy savings relative to ``baseline`` (Fig. 18)."""
+        if baseline.total_joules <= 0:
+            raise ValueError("baseline energy must be positive")
+        return 1.0 - self.total_joules / baseline.total_joules
+
+
+class EnergyMeter:
+    """Aggregates per-worker energy into an :class:`EnergyReport`."""
+
+    def measure(
+        self, workers: Sequence[GPUWorker], makespan_s: float
+    ) -> EnergyReport:
+        if makespan_s < 0:
+            raise ValueError("makespan_s must be non-negative")
+        busy = 0.0
+        load = 0.0
+        idle = 0.0
+        for worker in workers:
+            # Worker energy_joules mixes busy and load energy; split them
+            # back out using the recorded load seconds at idle power.
+            load_j = worker.load_seconds * worker.gpu.idle_power_w
+            busy += worker.energy_joules - load_j
+            load += load_j
+            idle_time = max(
+                0.0, makespan_s - worker.busy_seconds - worker.load_seconds
+            )
+            idle += idle_time * worker.gpu.idle_power_w
+        return EnergyReport(
+            busy_joules=busy,
+            load_joules=load,
+            idle_joules=idle,
+            makespan_s=makespan_s,
+            n_workers=len(workers),
+        )

@@ -1,0 +1,116 @@
+"""Sliding-window serving statistics.
+
+The Global Monitor (§5.3) reads three quantities from the last monitoring
+period: the request rate ``R``, the cache hit rate ``H_cache``, and the
+distribution of refinement steps ``P(K = k)``.  The collector keeps
+timestamped decision events and answers windowed queries over them; it also
+accumulates whole-run counters for the final report.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Snapshot of the last monitoring window."""
+
+    window_s: float
+    arrivals: int
+    hits: int
+    misses: int
+    k_rates: Dict[int, float]
+
+    @property
+    def request_rate_per_min(self) -> float:
+        if self.window_s <= 0:
+            return 0.0
+        return 60.0 * self.arrivals / self.window_s
+
+    @property
+    def hit_rate(self) -> float:
+        decided = self.hits + self.misses
+        if decided == 0:
+            return 0.0
+        return self.hits / decided
+
+
+class StatsCollector:
+    """Streams scheduling decisions; answers sliding-window queries."""
+
+    def __init__(self, max_window_s: float = 3600.0):
+        if max_window_s <= 0:
+            raise ValueError("max_window_s must be positive")
+        self._max_window_s = max_window_s
+        # (time, is_hit, k) — k meaningful only for hits.
+        self._events: Deque[Tuple[float, bool, int]] = deque()
+        self.total_arrivals = 0
+        self.total_hits = 0
+        self.total_misses = 0
+        self.k_histogram: Dict[int, int] = {}
+
+    def record_decision(self, now: float, hit: bool, k: int = 0) -> None:
+        """Record one scheduling decision (cache hit with ``k``, or miss)."""
+        self._events.append((now, hit, k))
+        self.total_arrivals += 1
+        if hit:
+            self.total_hits += 1
+            self.k_histogram[k] = self.k_histogram.get(k, 0) + 1
+        else:
+            self.total_misses += 1
+        self._trim(now)
+
+    def window(self, now: float, window_s: float) -> WindowStats:
+        """Stats over ``[now - window_s, now]``."""
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        cutoff = now - window_s
+        arrivals = 0
+        hits = 0
+        misses = 0
+        k_counts: Dict[int, int] = {}
+        for time, is_hit, k in reversed(self._events):
+            if time < cutoff:
+                break
+            arrivals += 1
+            if is_hit:
+                hits += 1
+                k_counts[k] = k_counts.get(k, 0) + 1
+            else:
+                misses += 1
+        k_rates = (
+            {k: c / hits for k, c in sorted(k_counts.items())}
+            if hits
+            else {}
+        )
+        return WindowStats(
+            window_s=window_s,
+            arrivals=arrivals,
+            hits=hits,
+            misses=misses,
+            k_rates=k_rates,
+        )
+
+    @property
+    def overall_hit_rate(self) -> float:
+        decided = self.total_hits + self.total_misses
+        if decided == 0:
+            return 0.0
+        return self.total_hits / decided
+
+    def overall_k_rates(self) -> Dict[int, float]:
+        """Whole-run ``P(K = k)`` over cache hits."""
+        if self.total_hits == 0:
+            return {}
+        return {
+            k: c / self.total_hits
+            for k, c in sorted(self.k_histogram.items())
+        }
+
+    def _trim(self, now: float) -> None:
+        cutoff = now - self._max_window_s
+        while self._events and self._events[0][0] < cutoff:
+            self._events.popleft()

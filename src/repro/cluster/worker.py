@@ -1,0 +1,124 @@
+"""GPU workers.
+
+A worker owns one GPU and hosts one diffusion model at a time (§4.2: "Each
+GPU (a worker) can only host one model at a time").  Assigning a job whose
+model differs from the currently loaded one pays the model's load time
+first — this is the cost the Global Monitor's PID damping exists to avoid
+thrashing on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.diffusion.registry import GpuSpec, ModelSpec
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of GPU work: run ``steps`` of ``model`` for a request.
+
+    ``kind`` distinguishes the serving paths for reporting: ``"full"``
+    (cache miss), ``"refine"`` (cache hit, Eq. 2 path), and ``"fetch"``
+    overheads some baselines charge to the worker.
+    """
+
+    request_id: int
+    model: ModelSpec
+    steps: int
+    kind: str = "full"
+    skipped_steps: int = 0
+    extra_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.steps < 0:
+            raise ValueError("steps must be non-negative")
+        if self.skipped_steps < 0:
+            raise ValueError("skipped_steps must be non-negative")
+        if self.extra_seconds < 0:
+            raise ValueError("extra_seconds must be non-negative")
+
+
+@dataclass
+class GPUWorker:
+    """A single-GPU worker with lazy model switching.
+
+    ``target_model`` is what the Global Monitor wants loaded; the switch
+    happens when the next job is assigned (workers finish in-flight work
+    first, per §4.2).
+    """
+
+    worker_id: int
+    gpu: GpuSpec
+    model_name: Optional[str] = None
+    target_model: Optional[str] = None
+    available_at: float = 0.0
+    busy_seconds: float = 0.0
+    load_seconds: float = 0.0
+    energy_joules: float = 0.0
+    jobs_completed: int = 0
+    switches: int = 0
+    current_job: Optional[Job] = None
+
+    def is_idle(self, now: float) -> bool:
+        return self.current_job is None and now >= self.available_at
+
+    def assign(self, job: Job, now: float) -> float:
+        """Start ``job`` at ``now``; returns its completion time.
+
+        Charges model load time when the job's model is not resident, then
+        the service time (fixed overhead + steps x per-step latency + any
+        baseline-specific extra such as Nirvana's latent fetch).
+        """
+        if self.current_job is not None:
+            raise RuntimeError(
+                f"worker {self.worker_id} is busy until "
+                f"{self.available_at:.2f}"
+            )
+        if now < self.available_at:
+            raise RuntimeError(
+                f"worker {self.worker_id} not available until "
+                f"{self.available_at:.2f} (now {now:.2f})"
+            )
+        start = now
+        if self.model_name != job.model.name:
+            load = job.model.load_time_s
+            self.load_seconds += load
+            self.energy_joules += load * self.gpu.idle_power_w
+            self.model_name = job.model.name
+            self.switches += 1
+            start += load
+
+        service = job.model.service_time_s(self.gpu.name, job.steps)
+        service += job.extra_seconds
+        self.busy_seconds += service
+        self.energy_joules += service * job.model.power_w[self.gpu.name]
+        self.current_job = job
+        self.available_at = start + service
+        return self.available_at
+
+    def complete(self, now: float) -> Job:
+        """Mark the in-flight job finished; returns it."""
+        if self.current_job is None:
+            raise RuntimeError(f"worker {self.worker_id} has no job")
+        if now + 1e-9 < self.available_at:
+            raise RuntimeError(
+                f"worker {self.worker_id} completion at {now:.2f} precedes "
+                f"available_at {self.available_at:.2f}"
+            )
+        job = self.current_job
+        self.current_job = None
+        self.jobs_completed += 1
+        return job
+
+    def wants_switch(self) -> bool:
+        """True when the monitor asked for a different model."""
+        return (
+            self.target_model is not None
+            and self.target_model != self.model_name
+        )
+
+    def effective_model(self) -> Optional[str]:
+        """The model this worker will run next (target wins over resident)."""
+        return self.target_model or self.model_name

@@ -1,0 +1,74 @@
+"""MoDM core: the paper's contribution.
+
+The pieces of Fig. 4, as a library:
+
+* :mod:`repro.core.cache` — the model-agnostic final-image cache (FIFO
+  sliding window, utility ablation) plus Nirvana's latent cache;
+* :mod:`repro.core.retrieval` — text-to-image vs text-to-text retrieval;
+* :mod:`repro.core.kselection` — similarity-thresholded choice of skipped
+  de-noising steps (Fig. 5b) and its quality-constrained calibration;
+* :mod:`repro.core.scheduler` — the Request Scheduler (embed, retrieve,
+  route to hit/miss queues, maintain the cache);
+* :mod:`repro.core.pid` / :mod:`repro.core.monitor` — the PID-stabilized
+  Global Monitor (Algorithm 1), in quality- and throughput-optimized modes;
+* :mod:`repro.core.serving` — the end-to-end MoDM serving system over the
+  cluster simulator;
+* :mod:`repro.core.baselines` — Vanilla, Nirvana, Pinecone, and standalone
+  small/distilled-model systems.
+"""
+
+from repro.core.baselines import (
+    NirvanaSystem,
+    PineconeSystem,
+    VanillaSystem,
+)
+from repro.core.cache import CacheEntry, ImageCache, LatentCache
+from repro.core.config import (
+    CacheAdmission,
+    ClusterConfig,
+    MoDMConfig,
+    MonitorMode,
+)
+from repro.core.kselection import (
+    KSelector,
+    derive_thresholds,
+    modm_default_selector,
+    nirvana_default_selector,
+)
+from repro.core.monitor import Allocation, GlobalMonitor, MonitorConfig
+from repro.core.pid import PIDController
+from repro.core.request import Decision, RequestRecord
+from repro.core.retrieval import (
+    TextToImageRetrieval,
+    TextToTextRetrieval,
+)
+from repro.core.scheduler import RequestScheduler
+from repro.core.serving import MoDMSystem, ServingReport
+
+__all__ = [
+    "Allocation",
+    "CacheAdmission",
+    "CacheEntry",
+    "ClusterConfig",
+    "Decision",
+    "GlobalMonitor",
+    "ImageCache",
+    "KSelector",
+    "LatentCache",
+    "MoDMConfig",
+    "MoDMSystem",
+    "MonitorConfig",
+    "MonitorMode",
+    "NirvanaSystem",
+    "PIDController",
+    "PineconeSystem",
+    "RequestRecord",
+    "RequestScheduler",
+    "ServingReport",
+    "TextToImageRetrieval",
+    "TextToTextRetrieval",
+    "VanillaSystem",
+    "derive_thresholds",
+    "modm_default_selector",
+    "nirvana_default_selector",
+]

@@ -1,0 +1,87 @@
+"""Configuration objects for serving systems."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Tuple
+
+from repro.diffusion.registry import GPU_SPECS
+
+
+class MonitorMode(str, Enum):
+    """Operating modes of the Global Monitor (§5.3)."""
+
+    QUALITY = "quality"
+    THROUGHPUT = "throughput"
+
+
+class CacheAdmission(str, Enum):
+    """Which generated images enter the cache (§5.4).
+
+    ``ALL`` caches every generated image (MoDM's default — §A.6 shows no
+    quality loss); ``LARGE_ONLY`` caches only large-model outputs (the
+    ``cache-large`` configurations of Figs. 9/14/19); ``NONE`` disables
+    admission (static warm cache only).
+    """
+
+    ALL = "all"
+    LARGE_ONLY = "large"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """How many workers, on which GPU type."""
+
+    gpu_name: str = "MI210"
+    n_workers: int = 16
+
+    def __post_init__(self) -> None:
+        if self.gpu_name not in GPU_SPECS:
+            raise ValueError(
+                f"unknown GPU {self.gpu_name!r}; "
+                f"available: {sorted(GPU_SPECS)}"
+            )
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+
+
+@dataclass(frozen=True)
+class MoDMConfig:
+    """Static configuration of a MoDM serving system.
+
+    ``small_models`` is a preference-ordered tuple: the monitor serves with
+    the first (highest-quality) small model whose capacity meets demand and
+    falls back to faster ones under load (Fig. 10's SDXL -> SANA switch).
+    """
+
+    large_model: str = "sd3.5-large"
+    small_models: Tuple[str, ...] = ("sdxl", "sana-1.6b")
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    cache_capacity: int = 10_000
+    cache_policy: str = "fifo"
+    cache_admission: CacheAdmission = CacheAdmission.ALL
+    retrieval: str = "text-to-image"
+    monitor_mode: MonitorMode = MonitorMode.THROUGHPUT
+    monitor_period_s: float = 60.0
+    monitor_window_s: float = 300.0
+    use_pid: bool = True
+    embed_latency_s: float = 0.01
+    threshold_shift: float = 0.0
+    seed: str = "run0"
+    store_images: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.small_models:
+            raise ValueError("need at least one small model")
+        if self.cache_capacity < 1:
+            raise ValueError("cache_capacity must be >= 1")
+        if self.retrieval not in ("text-to-image", "text-to-text"):
+            raise ValueError(
+                "retrieval must be 'text-to-image' or 'text-to-text'"
+            )
+        if self.monitor_period_s <= 0 or self.monitor_window_s <= 0:
+            raise ValueError("monitor periods must be positive")
+        if self.embed_latency_s < 0:
+            raise ValueError("embed_latency_s must be non-negative")

@@ -1,0 +1,212 @@
+"""Choosing the number of skipped de-noising steps ``k`` (§5.2, Fig. 5).
+
+MoDM restricts ``k`` to ``K = {5, 10, 15, 20, 25, 30}`` at ``T = 50`` and
+maps retrieval similarity to the *largest* ``k`` whose quality-constrained
+threshold the similarity clears; below the smallest threshold the request
+is a cache miss.  Thresholds come from an empirical calibration: for each
+``k``, the lowest similarity at which refined-image quality stays above
+``alpha = 0.95`` of full large-model generation quality.
+
+Two default selectors ship:
+
+* :func:`modm_default_selector` — thresholds calibrated on this substrate
+  with :func:`derive_thresholds` (same procedure as the paper; the values
+  land in the paper's 0.25-0.30 text-to-image band).
+* :func:`nirvana_default_selector` — Nirvana's text-to-text thresholds in
+  its 0.65-0.95 regime, mapped onto the substrate's text-similarity scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: The paper's discrete skip set at T = 50.
+DEFAULT_K_SET: Tuple[int, ...] = (5, 10, 15, 20, 25, 30)
+
+#: Reference total steps the k values are expressed in.
+REFERENCE_TOTAL_STEPS = 50
+
+#: Quality-retention constraint of Eq. 5.
+DEFAULT_ALPHA = 0.95
+
+#: Thresholds derived on this substrate via ``derive_thresholds`` with
+#: alpha = 0.95 over DiffusionDB-like retrievals (SD3.5-Large cache, SDXL
+#: refiner) — the reproduction's Fig. 5b.  Paper values for comparison:
+#: {5: 0.25, 10: 0.27, 15: 0.28, 25: 0.29, 30: 0.30}.
+MODM_DEFAULT_THRESHOLDS: Dict[int, float] = {
+    5: 0.241,
+    10: 0.241,
+    15: 0.246,
+    20: 0.256,
+    25: 0.263,
+    30: 0.275,
+}
+
+#: Nirvana applies high text-to-text thresholds (0.65-0.95 per the paper)
+#: and skips conservatively; expressed on the substrate's semantic
+#: text-similarity scale.
+NIRVANA_DEFAULT_THRESHOLDS: Dict[int, float] = {
+    5: 0.82,
+    10: 0.86,
+    15: 0.89,
+    20: 0.92,
+    25: 0.95,
+    30: 0.975,
+}
+
+
+@dataclass(frozen=True)
+class KSelector:
+    """Similarity-thresholded skip-step selector (Fig. 5b logic)."""
+
+    thresholds: Dict[int, float]
+
+    def __post_init__(self) -> None:
+        if not self.thresholds:
+            raise ValueError("thresholds must not be empty")
+        for k, tau in self.thresholds.items():
+            if k <= 0:
+                raise ValueError(f"k must be positive, got {k}")
+            if not 0.0 <= tau <= 1.0:
+                raise ValueError(
+                    f"threshold for k={k} must be in [0, 1], got {tau}"
+                )
+        ks = sorted(self.thresholds)
+        taus = [self.thresholds[k] for k in ks]
+        if any(b < a for a, b in zip(taus, taus[1:])):
+            raise ValueError(
+                "thresholds must be non-decreasing in k (larger skips "
+                "require closer matches)"
+            )
+
+    @property
+    def k_set(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.thresholds))
+
+    @property
+    def hit_threshold(self) -> float:
+        """``tau`` of Eq. 1 — below this the request is a cache miss."""
+        return min(self.thresholds.values())
+
+    def decide(self, similarity: float) -> Optional[int]:
+        """Largest ``k`` whose threshold ``similarity`` clears, else None."""
+        best: Optional[int] = None
+        for k in self.k_set:
+            if similarity >= self.thresholds[k]:
+                best = k
+        return best
+
+    def shifted(self, delta: float) -> "KSelector":
+        """Selector with all thresholds shifted by ``delta``.
+
+        Fig. 14 ablates a +0.01 hit-threshold variant; this produces it.
+        """
+        return KSelector(
+            thresholds={k: t + delta for k, t in self.thresholds.items()}
+        )
+
+
+def modm_default_selector() -> KSelector:
+    """MoDM's calibrated text-to-image selector for this substrate."""
+    return KSelector(thresholds=dict(MODM_DEFAULT_THRESHOLDS))
+
+
+def nirvana_default_selector() -> KSelector:
+    """Nirvana's conservative text-to-text selector."""
+    return KSelector(thresholds=dict(NIRVANA_DEFAULT_THRESHOLDS))
+
+
+def scale_k_steps(k_reference: int, total_steps: int) -> int:
+    """Map a reference-scale ``k`` (T = 50) to a model's own step count.
+
+    Distilled models run fewer steps; the skip *fraction* is what transfers
+    (SD3.5L-Turbo at T = 10 skips ``k/5`` steps).
+    """
+    if not 0 <= k_reference <= REFERENCE_TOTAL_STEPS:
+        raise ValueError(
+            f"k_reference must be in [0, {REFERENCE_TOTAL_STEPS}]"
+        )
+    if total_steps < 1:
+        raise ValueError("total_steps must be >= 1")
+    return int(round(k_reference / REFERENCE_TOTAL_STEPS * total_steps))
+
+
+def derive_thresholds(
+    samples: Sequence[Tuple[float, Dict[int, float]]],
+    alpha: float = DEFAULT_ALPHA,
+    k_set: Sequence[int] = DEFAULT_K_SET,
+    window: int = 60,
+    enforce_monotone: bool = True,
+) -> Dict[int, float]:
+    """Derive per-``k`` similarity thresholds from quality measurements.
+
+    Parameters
+    ----------
+    samples:
+        Pairs ``(similarity, {k: quality_factor})`` — for one retrieval at
+        the given text-to-image similarity, the measured quality factor
+        (refined quality / full-generation quality) at each candidate
+        ``k``.  Produced by the Fig. 5a experiment.
+    alpha:
+        Quality-retention constraint (Eq. 5).
+    window:
+        Rolling-mean window (in samples, sorted by similarity) used to
+        smooth the empirical quality curve before locating its
+        ``alpha``-crossing; clamped to the sample count.
+    enforce_monotone:
+        Project the per-``k`` thresholds onto a non-decreasing sequence
+        (larger skips require closer matches), as Fig. 5b's table is.
+
+    Returns
+    -------
+    ``{k: threshold}`` for every ``k`` whose curve reaches ``alpha`` at
+    some similarity; unreachable ``k`` values are omitted.
+    """
+    if not samples:
+        raise ValueError("need at least one sample")
+    if not 0.0 < alpha <= 1.5:
+        raise ValueError("alpha must be in (0, 1.5]")
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    ordered = sorted(samples, key=lambda pair: pair[0])
+    sims = np.array([s for s, _ in ordered])
+    if sims.size >= 2 and sims.max() <= sims.min():
+        raise ValueError("similarity samples must span a range")
+    win = min(window, len(ordered))
+
+    thresholds: Dict[int, float] = {}
+    for k in sorted(k_set):
+        values = np.array(
+            [factors.get(k, np.nan) for _, factors in ordered]
+        )
+        valid = ~np.isnan(values)
+        if valid.sum() < win:
+            continue
+        v_sims = sims[valid]
+        v_vals = values[valid]
+        # Rolling mean over a similarity-sorted window; the threshold is
+        # the window-center similarity of the lowest window from which the
+        # smoothed curve stays at or above alpha.
+        kernel = np.ones(win) / win
+        smoothed = np.convolve(v_vals, kernel, mode="valid")
+        centers = np.convolve(v_sims, kernel, mode="valid")
+        meets = smoothed >= alpha
+        if not meets.any():
+            continue
+        # Suffix scan: lowest index where this and all later windows meet.
+        suffix_ok = np.flip(
+            np.logical_and.accumulate(np.flip(meets))
+        )
+        idx = int(np.argmax(suffix_ok)) if suffix_ok.any() else None
+        if idx is not None and suffix_ok[idx]:
+            thresholds[k] = float(centers[idx])
+
+    if enforce_monotone and thresholds:
+        running = -np.inf
+        for k in sorted(thresholds):
+            running = max(running, thresholds[k])
+            thresholds[k] = running
+    return thresholds

@@ -1,0 +1,56 @@
+"""PID controller for resource-allocation stabilization (§5.3).
+
+The Global Monitor's heuristic produces a target number of large-model
+workers each period; the PID controller damps the transition so allocation
+does not thrash when the workload estimate is noisy.  Paper tuning:
+``Kp = 0.6, Ki = 0.05, Kd = 0.05``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class PIDController:
+    """Discrete PID on the allocation error ``target - current``."""
+
+    kp: float = 0.6
+    ki: float = 0.05
+    kd: float = 0.05
+    integral_limit: Optional[float] = 10.0
+    _integral: float = field(default=0.0, repr=False)
+    _prev_error: Optional[float] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.integral_limit is not None and self.integral_limit <= 0:
+            raise ValueError("integral_limit must be positive or None")
+
+    def compute(self, target: float, current: float) -> float:
+        """Control output to add to ``current`` this period."""
+        error = target - current
+        self._integral += error
+        if self.integral_limit is not None:
+            self._integral = max(
+                -self.integral_limit,
+                min(self.integral_limit, self._integral),
+            )
+        derivative = (
+            0.0 if self._prev_error is None else error - self._prev_error
+        )
+        self._prev_error = error
+        return (
+            self.kp * error
+            + self.ki * self._integral
+            + self.kd * derivative
+        )
+
+    def reset(self) -> None:
+        """Clear accumulated state (new serving run)."""
+        self._integral = 0.0
+        self._prev_error = None
+
+    @property
+    def integral(self) -> float:
+        return self._integral

@@ -1,0 +1,81 @@
+"""Request lifecycle records.
+
+A request flows: arrival -> scheduling decision (embed + retrieve) -> queue
+-> service on a worker -> completion.  The record captures every stage so
+the metrics layer can compute latency percentiles, SLO compliance, and the
+hit/miss/k breakdowns the figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.diffusion.latent import SyntheticImage
+from repro.workloads.prompts import Prompt
+
+
+@dataclass
+class Decision:
+    """Outcome of the Request Scheduler for one request (§4.2, §5.2)."""
+
+    hit: bool
+    similarity: float = 0.0
+    k_steps: int = 0
+    retrieved_image: Optional[SyntheticImage] = None
+    scheduler_latency_s: float = 0.0
+    served_from_cache: bool = False
+
+    def __post_init__(self) -> None:
+        if self.hit and self.retrieved_image is None:
+            raise ValueError("cache hits must carry the retrieved image")
+        if self.k_steps < 0:
+            raise ValueError("k_steps must be non-negative")
+
+    @property
+    def skip_fraction(self) -> float:
+        """``k / T`` in the paper's T = 50 reference scale."""
+        return self.k_steps / 50.0
+
+
+@dataclass
+class RequestRecord:
+    """One request's full lifecycle in a serving run."""
+
+    request_id: int
+    prompt: Prompt
+    arrival_s: float
+    decision: Optional[Decision] = None
+    enqueued_s: Optional[float] = None
+    service_start_s: Optional[float] = None
+    completion_s: Optional[float] = None
+    worker_id: Optional[int] = None
+    model_name: Optional[str] = None
+    steps_run: int = 0
+    image: Optional[SyntheticImage] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.completion_s is not None
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency: arrival to completion."""
+        if self.completion_s is None:
+            raise ValueError(
+                f"request {self.request_id} has not completed"
+            )
+        return self.completion_s - self.arrival_s
+
+    @property
+    def queueing_s(self) -> float:
+        """Time spent between enqueue and service start."""
+        if self.service_start_s is None or self.enqueued_s is None:
+            raise ValueError(
+                f"request {self.request_id} never started service"
+            )
+        return self.service_start_s - self.enqueued_s
+
+    @property
+    def is_hit(self) -> bool:
+        return self.decision is not None and self.decision.hit

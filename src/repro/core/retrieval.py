@@ -1,0 +1,104 @@
+"""Retrieval policies: how queries and cached items are embedded.
+
+MoDM retrieves by **text-to-image** similarity: the new prompt's CLIP text
+embedding against cached images' CLIP image embeddings (Eq. 1).  Prior work
+(Nirvana, Pinecone) retrieves by **text-to-text** similarity: the new
+prompt against the prompts that produced the cached items — which latches
+onto wording overlap regardless of what the image actually shows (§3.2,
+Figs. 2-3).
+
+A policy supplies two embeddings: the *query* embedding of an incoming
+prompt and the *index* embedding stored when an item enters the cache.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro._rng import normalize
+from repro.embedding.image_encoder import ClipLikeImageEncoder, ImageLike
+from repro.embedding.space import SemanticSpace
+from repro.embedding.text_encoder import ClipLikeTextEncoder, PromptLike
+
+
+class RetrievalPolicy(Protocol):
+    """Interface the scheduler and caches program against."""
+
+    name: str
+    embed_dim: int
+
+    def query_embedding(self, prompt: PromptLike) -> np.ndarray:
+        """Embedding of an incoming prompt."""
+
+    def index_embedding(
+        self, prompt: PromptLike, image: ImageLike
+    ) -> np.ndarray:
+        """Embedding stored for a cached item produced for ``prompt``."""
+
+
+class TextToImageRetrieval:
+    """MoDM's policy: prompt text embedding vs cached image embeddings."""
+
+    name = "text-to-image"
+
+    def __init__(self, space: SemanticSpace):
+        self._text_encoder = ClipLikeTextEncoder(space)
+        self._image_encoder = ClipLikeImageEncoder(space)
+        self.embed_dim = space.config.embed_dim
+
+    @property
+    def text_encoder(self) -> ClipLikeTextEncoder:
+        return self._text_encoder
+
+    @property
+    def image_encoder(self) -> ClipLikeImageEncoder:
+        return self._image_encoder
+
+    def query_embedding(self, prompt: PromptLike) -> np.ndarray:
+        return self._text_encoder.encode(prompt)
+
+    def index_embedding(
+        self, prompt: PromptLike, image: ImageLike
+    ) -> np.ndarray:
+        # What the image depicts, independent of the wording that made it.
+        return self._image_encoder.encode(image)
+
+
+class TextToTextRetrieval:
+    """Prior work's policy: prompt text vs producing-prompt text.
+
+    Similarities are computed on the semantic component of the text
+    embedding (anchor axes dropped and renormalized), putting unrelated
+    prompts near 0 and near-duplicates near 1 — the 0.65-0.95 threshold
+    regime Nirvana operates in.
+    """
+
+    name = "text-to-text"
+
+    def __init__(self, space: SemanticSpace):
+        self._space = space
+        self._text_encoder = ClipLikeTextEncoder(space)
+        self.embed_dim = space.config.embed_dim
+
+    @property
+    def text_encoder(self) -> ClipLikeTextEncoder:
+        return self._text_encoder
+
+    def query_embedding(self, prompt: PromptLike) -> np.ndarray:
+        return self._semantic_text_embedding(prompt)
+
+    def index_embedding(
+        self, prompt: PromptLike, image: ImageLike
+    ) -> np.ndarray:
+        # The image is indexed by the prompt that produced it; the image
+        # content itself is invisible to this policy (§3.2's failure mode).
+        return self._semantic_text_embedding(prompt)
+
+    def _semantic_text_embedding(self, prompt: PromptLike) -> np.ndarray:
+        full = self._text_encoder.encode(prompt)
+        semantic = normalize(self._space.project(full))
+        out = np.zeros(self.embed_dim)
+        out[: semantic.shape[0]] = semantic
+        return out

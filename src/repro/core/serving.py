@@ -1,0 +1,546 @@
+"""End-to-end serving systems over the cluster simulator.
+
+:class:`BaseServingSystem` owns the event-loop plumbing every system shares:
+arrival handling, worker dispatch, completion bookkeeping, energy metering,
+and report assembly.  Subclasses define policy — how a request is decided,
+which queue it joins, and what job an idle worker picks next.
+
+:class:`MoDMSystem` is the paper's system (Fig. 4): a cache-aware Request
+Scheduler feeding hit/miss queues, a PID-stabilized Global Monitor
+reallocating workers between the large model and an adaptively chosen small
+model, and workers that prioritize misses on large models while small
+models exclusively refine cache hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import collections
+
+import numpy as np
+
+from repro.cluster.energy import EnergyMeter, EnergyReport
+from repro.cluster.events import EventLoop
+from repro.cluster.stats import StatsCollector
+from repro.cluster.worker import GPUWorker, Job
+from repro.core.cache import ImageCache
+from repro.core.config import (
+    CacheAdmission,
+    ClusterConfig,
+    MoDMConfig,
+    MonitorMode,
+)
+from repro.core.kselection import (
+    KSelector,
+    modm_default_selector,
+    scale_k_steps,
+)
+from repro.core.monitor import Allocation, GlobalMonitor, MonitorConfig
+from repro.core.request import Decision, RequestRecord
+from repro.core.retrieval import (
+    RetrievalPolicy,
+    TextToImageRetrieval,
+    TextToTextRetrieval,
+)
+from repro.core.scheduler import RequestScheduler
+from repro.diffusion.model import DiffusionModelSim
+from repro.diffusion.registry import GPU_SPECS, ModelSpec, get_gpu, get_model
+from repro.embedding.space import SemanticSpace
+from repro.workloads.prompts import Prompt
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class AllocationEvent:
+    """Timestamped Global Monitor decision, for the allocation timeline."""
+
+    time_s: float
+    n_large: int
+    n_small: int
+    small_model: str
+
+
+@dataclass
+class _WorkItem:
+    """A record in service, with everything needed to finish it."""
+
+    record: RequestRecord
+    model: DiffusionModelSim
+    steps: int
+    skipped_steps: int
+    source_image: Optional[object] = None
+
+
+@dataclass
+class ServingReport:
+    """Everything one serving run produced."""
+
+    system: str
+    trace_name: str
+    records: List[RequestRecord]
+    energy: EnergyReport
+    workers: List[GPUWorker]
+    stats: StatsCollector
+    allocations: List[AllocationEvent] = field(default_factory=list)
+    cache_size: int = 0
+    cache_storage_bytes: int = 0
+
+    # ------------------------------------------------------------------
+    # Derived serving metrics
+    # ------------------------------------------------------------------
+    def completed(self) -> List[RequestRecord]:
+        return [r for r in self.records if r.completed]
+
+    @property
+    def n_completed(self) -> int:
+        return len(self.completed())
+
+    def latencies(self) -> np.ndarray:
+        return np.array([r.latency_s for r in self.completed()])
+
+    def completion_times(self) -> np.ndarray:
+        return np.array([r.completion_s for r in self.completed()])
+
+    def arrival_times(self) -> np.ndarray:
+        return np.array([r.arrival_s for r in self.records])
+
+    @property
+    def makespan_s(self) -> float:
+        times = self.completion_times()
+        return float(times.max()) if times.size else 0.0
+
+    @property
+    def serving_span_s(self) -> float:
+        """First arrival to last completion — the active serving window."""
+        times = self.completion_times()
+        if not times.size:
+            return 0.0
+        first_arrival = float(self.arrival_times().min())
+        return float(times.max()) - first_arrival
+
+    @property
+    def throughput_rpm(self) -> float:
+        """Completed requests per minute over the active serving window."""
+        if self.serving_span_s <= 0:
+            return 0.0
+        return 60.0 * self.n_completed / self.serving_span_s
+
+    @property
+    def hit_rate(self) -> float:
+        return self.stats.overall_hit_rate
+
+    def k_rates(self) -> Dict[int, float]:
+        return self.stats.overall_k_rates()
+
+    def images(self) -> List[Tuple[Prompt, object]]:
+        """(prompt, image) pairs for quality evaluation."""
+        return [
+            (r.prompt, r.image)
+            for r in self.completed()
+            if r.image is not None
+        ]
+
+
+class BaseServingSystem:
+    """Event-loop plumbing shared by every serving system."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        space: SemanticSpace,
+        cluster: ClusterConfig,
+        seed: str = "run0",
+        store_images: bool = True,
+    ):
+        self._space = space
+        self._cluster = cluster
+        self._gpu = get_gpu(cluster.gpu_name)
+        self._seed = seed
+        self._store_images = store_images
+        self._model_sims: Dict[str, DiffusionModelSim] = {}
+        self.stats = StatsCollector()
+        self._reset_runtime()
+
+    # ------------------------------------------------------------------
+    # Subclass policy hooks
+    # ------------------------------------------------------------------
+    def _handle_arrival(self, record: RequestRecord, now: float) -> None:
+        """Decide and enqueue one request (may complete it immediately)."""
+        raise NotImplementedError
+
+    def _next_work(
+        self, worker: GPUWorker, now: float
+    ) -> Optional[_WorkItem]:
+        """Pick the next work item for an idle worker, or None."""
+        raise NotImplementedError
+
+    def _on_complete(self, record: RequestRecord, now: float) -> None:
+        """Post-completion hook (cache admission etc.)."""
+
+    def _on_run_start(self) -> None:
+        """Hook fired once before the event loop runs (monitor ticks)."""
+
+    # ------------------------------------------------------------------
+    # Shared machinery
+    # ------------------------------------------------------------------
+    def model_sim(self, name: str) -> DiffusionModelSim:
+        sim = self._model_sims.get(name)
+        if sim is None:
+            sim = DiffusionModelSim(get_model(name), self._space)
+            self._model_sims[name] = sim
+        return sim
+
+    def _reset_runtime(self) -> None:
+        self.loop = EventLoop()
+        self.workers: List[GPUWorker] = [
+            GPUWorker(worker_id=i, gpu=self._gpu)
+            for i in range(self._cluster.n_workers)
+        ]
+        self.records: List[RequestRecord] = []
+        self._in_service: Dict[int, _WorkItem] = {}
+        self._n_completed = 0
+        self._n_expected = 0
+        self.stats = StatsCollector()
+
+    def run(self, trace: Trace, until: Optional[float] = None) -> ServingReport:
+        """Serve ``trace`` to completion (or until the time horizon)."""
+        self._reset_runtime()
+        self._n_expected = len(trace)
+        for request in trace:
+            record = RequestRecord(
+                request_id=request.request_id,
+                prompt=request.prompt,
+                arrival_s=request.arrival_s,
+            )
+            self.records.append(record)
+            self.loop.schedule(
+                request.arrival_s,
+                lambda now, rec=record: self._arrive(rec, now),
+            )
+        self._on_run_start()
+        self.loop.run(until=until)
+        makespan = max(
+            (r.completion_s for r in self.records if r.completed),
+            default=self.loop.now,
+        )
+        energy = EnergyMeter().measure(self.workers, makespan)
+        return self._build_report(trace, energy)
+
+    def _build_report(
+        self, trace: Trace, energy: EnergyReport
+    ) -> ServingReport:
+        return ServingReport(
+            system=self.name,
+            trace_name=trace.name,
+            records=self.records,
+            energy=energy,
+            workers=self.workers,
+            stats=self.stats,
+        )
+
+    def _arrive(self, record: RequestRecord, now: float) -> None:
+        self._handle_arrival(record, now)
+        self._dispatch(now)
+
+    def _schedule_queue_dispatch(self, record: RequestRecord) -> None:
+        """Wake the dispatcher when a request's scheduler latency elapses.
+
+        Requests enter their queue at ``enqueued_s`` (arrival plus embed +
+        retrieval latency); without this wake-up an otherwise idle system
+        would never notice the queue became non-empty.
+        """
+        if record.enqueued_s is not None and record.enqueued_s > self.loop.now:
+            self.loop.schedule(
+                record.enqueued_s, lambda now: self._dispatch(now)
+            )
+
+    def _dispatch(self, now: float) -> None:
+        for worker in self.workers:
+            if not worker.is_idle(now):
+                continue
+            item = self._next_work(worker, now)
+            if item is None:
+                continue
+            self._start(worker, item, now)
+
+    def _start(self, worker: GPUWorker, item: _WorkItem, now: float) -> None:
+        record = item.record
+        job = Job(
+            request_id=record.request_id,
+            model=item.model.spec,
+            steps=item.steps,
+            kind="refine" if item.source_image is not None else "full",
+            skipped_steps=item.skipped_steps,
+            extra_seconds=self._worker_overhead_s(item),
+        )
+        finish = worker.assign(job, now)
+        record.service_start_s = now
+        record.worker_id = worker.worker_id
+        record.model_name = item.model.spec.name
+        record.steps_run = item.steps
+        self._in_service[record.request_id] = item
+        self.loop.schedule(
+            finish,
+            lambda t, w=worker: self._complete(w, t),
+        )
+
+    def _worker_overhead_s(self, item: _WorkItem) -> float:
+        """Extra worker-blocking seconds (baselines override)."""
+        return 0.0
+
+    def _complete(self, worker: GPUWorker, now: float) -> None:
+        job = worker.complete(now)
+        item = self._in_service.pop(job.request_id)
+        record = item.record
+        if item.source_image is not None:
+            result = item.model.refine(
+                record.prompt,
+                item.source_image,
+                item.skipped_steps,
+                seed=self._seed,
+                created_at=now,
+            )
+        else:
+            result = item.model.generate(
+                record.prompt, seed=self._seed, created_at=now
+            )
+        record.completion_s = now
+        if self._store_images:
+            record.image = result.image
+        self._n_completed += 1
+        self._on_complete_image(record, result.image, now)
+        self._on_complete(record, now)
+        self._dispatch(now)
+
+    def _on_complete_image(self, record, image, now: float) -> None:
+        """Hook with the generated image even when not stored."""
+
+    def _finish_without_gpu(
+        self, record: RequestRecord, image, now: float
+    ) -> None:
+        """Complete a request scheduler-side (no GPU work) — Pinecone."""
+        record.completion_s = now
+        record.model_name = "cache"
+        if self._store_images:
+            record.image = image
+        self._n_completed += 1
+
+    @property
+    def all_done(self) -> bool:
+        return self._n_completed >= self._n_expected
+
+
+def _pop_fifo(queue: Deque[RequestRecord]) -> Optional[RequestRecord]:
+    return queue.popleft() if queue else None
+
+
+class MoDMSystem(BaseServingSystem):
+    """The paper's serving system (Fig. 4)."""
+
+    name = "modm"
+
+    def __init__(
+        self,
+        space: SemanticSpace,
+        config: Optional[MoDMConfig] = None,
+        selector: Optional[KSelector] = None,
+    ):
+        config = config or MoDMConfig()
+        super().__init__(
+            space,
+            config.cluster,
+            seed=config.seed,
+            store_images=config.store_images,
+        )
+        self.config = config
+        self._large_spec = get_model(config.large_model)
+        self._small_specs = [get_model(m) for m in config.small_models]
+        if self._large_spec.total_steps < max(
+            s.total_steps for s in self._small_specs
+        ):
+            # Not an error — distilled "large" setups exist — but the skip
+            # scaling assumes the reference schedule is the large model's.
+            pass
+
+        retrieval: RetrievalPolicy
+        if config.retrieval == "text-to-image":
+            retrieval = TextToImageRetrieval(space)
+        else:
+            retrieval = TextToTextRetrieval(space)
+        self.cache = ImageCache(
+            capacity=config.cache_capacity,
+            embed_dim=retrieval.embed_dim,
+            policy=config.cache_policy,
+        )
+        base_selector = selector or modm_default_selector()
+        if config.threshold_shift:
+            base_selector = base_selector.shifted(config.threshold_shift)
+        self.scheduler = RequestScheduler(
+            cache=self.cache,
+            retrieval=retrieval,
+            selector=base_selector,
+            stats=self.stats,
+            admission=config.cache_admission,
+            large_model_name=self._large_spec.name,
+            embed_latency_s=config.embed_latency_s,
+        )
+        self.monitor = GlobalMonitor(
+            MonitorConfig(
+                mode=config.monitor_mode,
+                period_s=config.monitor_period_s,
+                window_s=config.monitor_window_s,
+                use_pid=config.use_pid,
+            ),
+            large_model=self._large_spec,
+            small_models=self._small_specs,
+            gpu_name=config.cluster.gpu_name,
+            n_workers=config.cluster.n_workers,
+        )
+        self.allocations: List[AllocationEvent] = []
+        self._miss_queue: Deque[RequestRecord] = collections.deque()
+        self._hit_queue: Deque[RequestRecord] = collections.deque()
+
+    # ------------------------------------------------------------------
+    # Warm-up
+    # ------------------------------------------------------------------
+    def warm_cache(
+        self, prompts: Sequence[Prompt], seed: str = "warmup"
+    ) -> None:
+        """Pre-populate the cache with large-model generations (§6)."""
+        sim = self.model_sim(self._large_spec.name)
+        for prompt in prompts:
+            image = sim.generate(prompt, seed=seed).image
+            self.scheduler.admit(prompt, image, now=0.0)
+
+    # ------------------------------------------------------------------
+    # Policy
+    # ------------------------------------------------------------------
+    def _reset_runtime(self) -> None:
+        super()._reset_runtime()
+        self._miss_queue = collections.deque()
+        self._hit_queue = collections.deque()
+        self.allocations = []
+        if hasattr(self, "monitor"):
+            self.monitor.reset()
+            # All workers start on the large model.
+            for worker in self.workers:
+                worker.target_model = self._large_spec.name
+        if hasattr(self, "scheduler"):
+            self.scheduler.bind_stats(self.stats)
+
+    def _on_run_start(self) -> None:
+        self._schedule_monitor_tick()
+
+    def _schedule_monitor_tick(self) -> None:
+        self.loop.schedule_in(
+            self.monitor.config.period_s,
+            self._monitor_tick,
+        )
+
+    def _monitor_tick(self, now: float) -> None:
+        if self.all_done:
+            return
+        window = self.stats.window(now, self.monitor.config.window_s)
+        hit_backlog_workload = sum(
+            1.0 - record.decision.skip_fraction
+            for record in self._hit_queue
+            if record.decision is not None
+        )
+        allocation = self.monitor.allocate(
+            window,
+            miss_backlog=len(self._miss_queue),
+            hit_backlog_workload=hit_backlog_workload,
+        )
+        self._apply_allocation(allocation, now)
+        self._schedule_monitor_tick()
+        self._dispatch(now)
+
+    def _apply_allocation(self, allocation: Allocation, now: float) -> None:
+        self.allocations.append(
+            AllocationEvent(
+                time_s=now,
+                n_large=allocation.n_large,
+                n_small=allocation.n_small,
+                small_model=allocation.small_model,
+            )
+        )
+        # Minimal-switch assignment: workers already (heading) large keep
+        # the large role first.
+        large_name = self._large_spec.name
+        ranked = sorted(
+            self.workers,
+            key=lambda w: (w.effective_model() != large_name, w.worker_id),
+        )
+        for i, worker in enumerate(ranked):
+            if i < allocation.n_large:
+                worker.target_model = large_name
+            else:
+                worker.target_model = allocation.small_model
+
+    def _handle_arrival(self, record: RequestRecord, now: float) -> None:
+        decision = self.scheduler.decide(record.prompt, now)
+        record.decision = decision
+        record.enqueued_s = now + decision.scheduler_latency_s
+        if decision.hit:
+            self._hit_queue.append(record)
+        else:
+            self._miss_queue.append(record)
+        self._schedule_queue_dispatch(record)
+
+    def _next_work(
+        self, worker: GPUWorker, now: float
+    ) -> Optional[_WorkItem]:
+        role = worker.effective_model() or self._large_spec.name
+        if role == self._large_spec.name:
+            record = self._pop_ready(self._miss_queue, now)
+            if record is not None:
+                return _WorkItem(
+                    record=record,
+                    model=self.model_sim(self._large_spec.name),
+                    steps=self._large_spec.total_steps,
+                    skipped_steps=0,
+                )
+            # Large workers may refine hits when no misses wait (§4.2).
+            record = self._pop_ready(self._hit_queue, now)
+            if record is not None:
+                return self._refine_item(record, self._large_spec)
+            return None
+        # Small workers exclusively refine cache hits (§4.2).
+        record = self._pop_ready(self._hit_queue, now)
+        if record is not None:
+            return self._refine_item(record, get_model(role))
+        return None
+
+    def _refine_item(
+        self, record: RequestRecord, spec: ModelSpec
+    ) -> _WorkItem:
+        decision = record.decision
+        assert decision is not None and decision.retrieved_image is not None
+        skipped = scale_k_steps(decision.k_steps, spec.total_steps)
+        return _WorkItem(
+            record=record,
+            model=self.model_sim(spec.name),
+            steps=spec.total_steps - skipped,
+            skipped_steps=skipped,
+            source_image=decision.retrieved_image,
+        )
+
+    def _pop_ready(
+        self, queue: Deque[RequestRecord], now: float
+    ) -> Optional[RequestRecord]:
+        if queue and queue[0].enqueued_s <= now:
+            return queue.popleft()
+        return None
+
+    def _on_complete_image(self, record, image, now: float) -> None:
+        self.scheduler.admit(record.prompt, image, now)
+
+    def _build_report(self, trace, energy) -> ServingReport:
+        report = super()._build_report(trace, energy)
+        report.allocations = list(self.allocations)
+        report.cache_size = len(self.cache)
+        report.cache_storage_bytes = self.cache.storage_bytes()
+        return report

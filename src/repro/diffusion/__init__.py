@@ -1,0 +1,44 @@
+"""Diffusion-model substrate.
+
+No GPUs or checkpoints are available offline, so this package implements the
+smallest simulator that preserves the behaviours MoDM depends on:
+
+* an iterative de-noising process over content vectors with a real noise
+  schedule (``sigmas``), including Eq. 2 forward re-noising of a cached image
+  to an intermediate timestep;
+* a model zoo (SD3.5-Large, FLUX.1-dev, SDXL, SANA-1.6B, SD3.5L-Turbo) whose
+  latency, energy, and quality parameters are calibrated against the paper's
+  reported relationships (who is faster, by how much, and how quality
+  degrades);
+* text-to-image and image-to-image pipelines mirroring the diffusers API
+  surface MoDM's workers drive.
+"""
+
+from repro.diffusion.latent import LatentState, SyntheticImage
+from repro.diffusion.model import DiffusionModelSim, GenerationResult
+from repro.diffusion.pipeline import Image2ImagePipeline, Text2ImagePipeline
+from repro.diffusion.registry import (
+    GPU_SPECS,
+    MODEL_ZOO,
+    GpuSpec,
+    ModelSpec,
+    get_gpu,
+    get_model,
+)
+from repro.diffusion.schedule import NoiseSchedule
+
+__all__ = [
+    "DiffusionModelSim",
+    "GPU_SPECS",
+    "GenerationResult",
+    "GpuSpec",
+    "Image2ImagePipeline",
+    "LatentState",
+    "MODEL_ZOO",
+    "ModelSpec",
+    "NoiseSchedule",
+    "SyntheticImage",
+    "Text2ImagePipeline",
+    "get_gpu",
+    "get_model",
+]

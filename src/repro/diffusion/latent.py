@@ -1,0 +1,107 @@
+"""Latent states and synthetic images.
+
+A :class:`SyntheticImage` is the unit the cache stores and the metrics
+consume: a content vector in the semantic subspace (what the image depicts)
+plus provenance (which model produced it, from which prompt, at what
+simulated time, with how many skipped steps).  Storage sizes follow §3.1 of
+the paper: ~1.4 MB for a final 1024x1024 image vs ~2.5 MB for the stack of
+intermediate latents Nirvana must keep per image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+#: Bytes to store one final compressed 1024x1024 image (paper §3.1).
+FINAL_IMAGE_BYTES = 1_400_000
+
+#: Bytes to store the multi-step latent stack Nirvana caches per image.
+LATENT_STACK_BYTES = 2_500_000
+
+
+@dataclass
+class LatentState:
+    """In-flight de-noising state: a content vector at a timestep index."""
+
+    x: np.ndarray
+    step: int
+
+    def __post_init__(self) -> None:
+        if self.step < 0:
+            raise ValueError("step must be non-negative")
+
+
+@dataclass
+class SyntheticImage:
+    """A generated image in the simulation.
+
+    Attributes
+    ----------
+    image_id:
+        Globally unique id; also keys the deterministic encoder perturbation.
+    prompt_id:
+        Prompt the image was generated for.
+    model_name:
+        Model that produced (or refined) the image.
+    content:
+        Depicted-semantics vector in the semantic subspace (unit norm).
+    created_at:
+        Simulation time (seconds) when generation finished.
+    steps_run:
+        De-noising iterations actually executed.
+    skipped_steps:
+        ``k`` — iterations skipped thanks to a cached starting image
+        (0 for full generations).
+    source_image_id:
+        Cache entry the generation started from, if any.
+    seed:
+        Seed tag of the generation (set-level provenance for FID).
+    size_bytes:
+        Storage cost of the final compressed image.
+    """
+
+    image_id: str
+    prompt_id: str
+    model_name: str
+    content: np.ndarray
+    created_at: float = 0.0
+    steps_run: int = 0
+    skipped_steps: int = 0
+    source_image_id: Optional[str] = None
+    seed: str = "default"
+    size_bytes: int = FINAL_IMAGE_BYTES
+
+    def __post_init__(self) -> None:
+        if self.skipped_steps < 0 or self.steps_run < 0:
+            raise ValueError("step counts must be non-negative")
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+
+    @property
+    def is_refinement(self) -> bool:
+        """True when the image was produced from a cached starting image."""
+        return self.source_image_id is not None
+
+
+@dataclass
+class CachedLatent:
+    """What Nirvana caches: intermediate latents of a past generation.
+
+    Model-specific (unusable by any other model) and heavier than a final
+    image (§3.1) — this is the representation MoDM's image cache replaces.
+    """
+
+    latent_id: str
+    prompt_id: str
+    model_name: str
+    content: np.ndarray
+    available_steps: tuple = (5, 10, 15, 20, 25, 30)
+    created_at: float = 0.0
+    size_bytes: int = LATENT_STACK_BYTES
+
+    def usable_by(self, model_name: str) -> bool:
+        """Latents only load into the model that produced them."""
+        return model_name == self.model_name

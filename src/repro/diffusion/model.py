@@ -1,0 +1,328 @@
+"""De-noising simulator.
+
+Implements the two generation paths MoDM's workers execute:
+
+* **Full generation** (cache miss): ``T`` de-noising steps from pure noise,
+  converging to the model's rendering of the prompt — the prompt mixture
+  scaled by the model's ``alignment``, plus a realism residual whose
+  composition drives FID.
+* **Refinement** (cache hit, §5.1): the retrieved image is re-noised to
+  timestep ``t_k`` per Eq. 2 and de-noised for the remaining ``T - k``
+  steps.  The result stays *anchored* to the cached image in proportion to
+  the Eq. 2 structure retention ``1 - sigma_k`` (early steps set structure;
+  skipping them keeps the cached structure), drifts toward the refining
+  model's own rendering for the remainder, and pays a small under-refinement
+  penalty that grows with the skip fraction ``k / T`` — together producing
+  the Fig. 5a family of quality-vs-similarity curves.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro._rng import normalize, rng_for, seed_for, unit_vector
+from repro.diffusion.latent import SyntheticImage
+from repro.diffusion.registry import ModelSpec
+from repro.diffusion.schedule import NoiseSchedule
+from repro.embedding.space import SemanticSpace
+from repro.embedding.text_encoder import PromptLike, prompt_mixture
+
+#: Stream names for the deterministic noise sources.
+_NAT_STREAM = "residual-natural"
+_MODEL_STREAM = "residual-model"
+_FINGERPRINT_STREAM = "model-fingerprint"
+_SET_STREAM = "set-shift"
+_IMAGE_STREAM = "image-noise"
+_GENERIC_STREAM = "generic-direction"
+_JITTER_STREAM = "alignment-jitter"
+
+
+@dataclass(frozen=True)
+class GenerationResult:
+    """Output of one generation: the image plus compute accounting."""
+
+    image: SyntheticImage
+    steps_run: int
+    skipped_steps: int
+
+    @property
+    def total_steps_equivalent(self) -> int:
+        return self.steps_run + self.skipped_steps
+
+
+class DiffusionModelSim:
+    """Simulated diffusion model bound to a semantic space.
+
+    One instance per model per process; the instance is stateless apart from
+    an id counter, so a single instance can serve many simulated workers.
+    """
+
+    def __init__(self, spec: ModelSpec, space: SemanticSpace):
+        self._spec = spec
+        self._space = space
+        self._schedule = spec.schedule()
+        self._counter = itertools.count()
+        # Disambiguates image ids across differently-parametrized specs of
+        # the same model (image ids key encoder caches, so two images with
+        # the same id must have identical content).
+        self._spec_digest = f"{seed_for(repr(spec)):016x}"[:8]
+        semantic_dim = space.config.semantic_dim
+        self._fingerprint = unit_vector(
+            rng_for(_FINGERPRINT_STREAM, spec.family, spec.name),
+            semantic_dim,
+        )
+        self._generic_direction = unit_vector(
+            rng_for(_GENERIC_STREAM, space.config.seed), semantic_dim
+        )
+
+    @property
+    def spec(self) -> ModelSpec:
+        return self._spec
+
+    @property
+    def schedule(self) -> NoiseSchedule:
+        return self._schedule
+
+    @property
+    def space(self) -> SemanticSpace:
+        return self._space
+
+    # ------------------------------------------------------------------
+    # Target construction
+    # ------------------------------------------------------------------
+    def target_content(
+        self,
+        prompt: PromptLike,
+        seed: str,
+        alignment: Optional[float] = None,
+        realism: Optional[float] = None,
+    ) -> np.ndarray:
+        """The model's rendering of ``prompt`` — where de-noising converges.
+
+        ``alignment`` of the mass goes to the prompt mixture; the rest is a
+        realism residual mixing the shared natural-image direction (weight
+        ``realism``) with the model's own artifact direction, itself partly
+        a consistent fingerprint (weight ``fingerprint``).  ``seed`` tags
+        the generation run and adds the set-level drift that produces the
+        FID floor between independent runs.
+
+        ``alignment`` overrides the spec's value (refinement discounts it);
+        the alignment *deficit* relative to the standalone value is routed
+        to the shared natural direction, not to model artifacts — an
+        under-aligned refinement looks generic, it does not grow extra
+        artifacts — so FID stays governed by ``realism``.
+        """
+        spec = self._spec
+        dim = self._space.config.semantic_dim
+        mixture = prompt_mixture(self._space, prompt)
+        if alignment is None:
+            alignment = spec.alignment
+        if realism is None:
+            realism = spec.realism
+        if spec.alignment_jitter > 0.0:
+            jitter_rng = rng_for(
+                _JITTER_STREAM, spec.name, prompt.prompt_id, seed
+            )
+            alignment = float(
+                np.clip(
+                    alignment
+                    + spec.alignment_jitter * jitter_rng.standard_normal(),
+                    0.05,
+                    0.98,
+                )
+            )
+        # The model's intrinsic artifact budget is fixed by its standalone
+        # alignment; any further alignment loss becomes generic content.
+        artifact_scale = float(
+            np.sqrt(max(0.0, 1.0 - spec.alignment**2))
+        )
+        deficit_scale = float(
+            np.sqrt(
+                max(0.0, 1.0 - alignment**2 - artifact_scale**2)
+            )
+        )
+
+        natural = unit_vector(
+            rng_for(_NAT_STREAM, self._space.config.seed, prompt.prompt_id),
+            dim,
+        )
+        idiosyncratic = unit_vector(
+            rng_for(_MODEL_STREAM, spec.name, prompt.prompt_id), dim
+        )
+        artifact = normalize(
+            spec.fingerprint * self._fingerprint
+            + float(np.sqrt(max(0.0, 1.0 - spec.fingerprint**2)))
+            * idiosyncratic
+        )
+        residual = normalize(
+            realism * natural + (1.0 - realism) * artifact
+        )
+
+        set_drift = unit_vector(rng_for(_SET_STREAM, spec.name, seed), dim)
+        return normalize(
+            alignment * mixture
+            + artifact_scale * residual
+            + deficit_scale * natural
+            + spec.set_shift * set_drift
+        )
+
+    def refinement_target(
+        self,
+        prompt: PromptLike,
+        seed: str,
+        structure_retention: float = 1.0,
+    ) -> np.ndarray:
+        """Where de-noising converges when refining an existing image.
+
+        The de-noiser must stay consistent with the re-noised structure, so
+        prompt alignment is discounted relative to from-scratch generation
+        (``refine_alignment_discount``) — the reason Fig. 5a's quality
+        factor can dip below 1.0 even at small ``k``.  The discount grows
+        with the Eq. 2 structure retention ``1 - sigma_k``: the more of the
+        original image survives re-noising, the less freedom the de-noiser
+        has to chase the prompt.
+        """
+        if not 0.0 <= structure_retention <= 1.0:
+            raise ValueError("structure_retention must be in [0, 1]")
+        spec = self._spec
+        floor = spec.refine_discount_floor
+        scale = floor + (1.0 - floor) * structure_retention
+        discounted = spec.alignment * (
+            1.0 - spec.refine_alignment_discount * scale
+        )
+        # Refinement inherits the retained structure's realism: artifacts
+        # the refiner would have introduced from scratch are attenuated in
+        # proportion to how much of the original image survives (this is
+        # why MoDM's FID lands between the large and small models' in
+        # Tables 2-3).
+        recovered_realism = (
+            spec.realism + (1.0 - spec.realism) * structure_retention
+        )
+        return self.target_content(
+            prompt, seed, alignment=discounted, realism=recovered_realism
+        )
+
+    # ------------------------------------------------------------------
+    # Generation paths
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        prompt: PromptLike,
+        seed: str = "default",
+        created_at: float = 0.0,
+    ) -> GenerationResult:
+        """Full ``T``-step generation from pure noise (cache-miss path)."""
+        target = self.target_content(prompt, seed)
+        image_id = self._next_image_id(prompt.prompt_id, seed)
+        content = self._finish(target, image_id)
+        image = SyntheticImage(
+            image_id=image_id,
+            prompt_id=prompt.prompt_id,
+            model_name=self._spec.name,
+            content=content,
+            created_at=created_at,
+            steps_run=self._spec.total_steps,
+            skipped_steps=0,
+            source_image_id=None,
+            seed=seed,
+            size_bytes=self._spec.image_bytes,
+        )
+        return GenerationResult(
+            image=image,
+            steps_run=self._spec.total_steps,
+            skipped_steps=0,
+        )
+
+    def refine(
+        self,
+        prompt: PromptLike,
+        source: SyntheticImage,
+        skipped_steps: int,
+        seed: str = "default",
+        created_at: float = 0.0,
+    ) -> GenerationResult:
+        """Refine a cached image with ``T - k`` steps (cache-hit path).
+
+        ``skipped_steps`` is ``k`` in the paper's notation and must respect
+        this model's schedule (use :meth:`NoiseSchedule.scaled_skip` to map
+        the paper's ``K`` fractions onto distilled models).
+        """
+        total = self._spec.total_steps
+        if not 0 <= skipped_steps <= total:
+            raise ValueError(
+                f"skipped_steps must be in [0, {total}], got {skipped_steps}"
+            )
+        retention = self._schedule.structure_retention(skipped_steps)
+        target = self.refinement_target(
+            prompt, seed, structure_retention=retention
+        )
+        anchor = self._anchor_weight(retention)
+        blend = normalize(
+            anchor * normalize(source.content) + (1.0 - anchor) * target
+        )
+
+        image_id = self._next_image_id(
+            prompt.prompt_id, seed, source_id=source.image_id
+        )
+
+        # Under-refinement: with few remaining steps, residual noise from
+        # the Eq. 2 re-noising survives into the output.  The residue is
+        # image-specific (it is leftover sampling noise), so it attenuates
+        # prompt alignment without shifting the population mean.
+        drift = self._spec.skip_penalty * (skipped_steps / total)
+        if drift > 0.0:
+            residue = unit_vector(
+                rng_for(_GENERIC_STREAM, self._spec.name, image_id),
+                self._space.config.semantic_dim,
+            )
+            blend = normalize((1.0 - drift) * blend + drift * residue)
+        content = self._finish(blend, image_id)
+        steps_run = total - skipped_steps
+        image = SyntheticImage(
+            image_id=image_id,
+            prompt_id=prompt.prompt_id,
+            model_name=self._spec.name,
+            content=content,
+            created_at=created_at,
+            steps_run=steps_run,
+            skipped_steps=skipped_steps,
+            source_image_id=source.image_id,
+            seed=seed,
+            size_bytes=self._spec.image_bytes,
+        )
+        return GenerationResult(
+            image=image,
+            steps_run=steps_run,
+            skipped_steps=skipped_steps,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _anchor_weight(self, structure_retention: float) -> float:
+        """How much of the final image the cached structure determines."""
+        weight = (
+            self._spec.anchor_intercept
+            + self._spec.anchor_slope * structure_retention
+        )
+        return float(np.clip(weight, 0.0, 0.97))
+
+    def _finish(self, direction: np.ndarray, image_id: str) -> np.ndarray:
+        """Apply per-image sampling noise and return the final content."""
+        noise = unit_vector(
+            rng_for(_IMAGE_STREAM, self._spec.name, image_id),
+            self._space.config.semantic_dim,
+        )
+        return normalize(direction + self._spec.image_noise * noise)
+
+    def _next_image_id(
+        self, prompt_id: str, seed: str, source_id: str = "scratch"
+    ) -> str:
+        return (
+            f"{self._spec.name}/{self._spec_digest}/{seed}/{prompt_id}/"
+            f"{source_id}/{next(self._counter)}"
+        )

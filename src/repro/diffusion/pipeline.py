@@ -1,0 +1,95 @@
+"""Pipelines mirroring the diffusers API surface MoDM's workers drive.
+
+The serving layer thinks in terms of two operations:
+
+* ``Text2ImagePipeline(prompt)`` — full generation (cache miss);
+* ``Image2ImagePipeline(prompt, init_image, skipped_steps)`` — Eq. 2
+  re-noise + partial de-noise (cache hit).
+
+Both return the generated image together with the GPU time and energy the
+operation costs on a given GPU type, which is what the cluster simulator
+charges the hosting worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.diffusion.latent import SyntheticImage
+from repro.diffusion.model import DiffusionModelSim, GenerationResult
+from repro.embedding.text_encoder import PromptLike
+
+
+@dataclass(frozen=True)
+class PipelineOutput:
+    """Generated image plus the compute it cost."""
+
+    image: SyntheticImage
+    steps_run: int
+    skipped_steps: int
+    gpu_seconds: float
+    energy_joules: float
+
+
+class _PipelineBase:
+    def __init__(self, model: DiffusionModelSim, gpu_name: str):
+        self._model = model
+        self._gpu_name = gpu_name
+
+    @property
+    def model(self) -> DiffusionModelSim:
+        return self._model
+
+    @property
+    def gpu_name(self) -> str:
+        return self._gpu_name
+
+    def _package(
+        self, result: GenerationResult
+    ) -> PipelineOutput:
+        spec = self._model.spec
+        gpu_seconds = spec.service_time_s(self._gpu_name, result.steps_run)
+        energy = spec.energy_joules(self._gpu_name, result.steps_run)
+        return PipelineOutput(
+            image=result.image,
+            steps_run=result.steps_run,
+            skipped_steps=result.skipped_steps,
+            gpu_seconds=gpu_seconds,
+            energy_joules=energy,
+        )
+
+
+class Text2ImagePipeline(_PipelineBase):
+    """Full generation from a text prompt."""
+
+    def __call__(
+        self,
+        prompt: PromptLike,
+        seed: str = "default",
+        created_at: float = 0.0,
+    ) -> PipelineOutput:
+        return self._package(
+            self._model.generate(prompt, seed=seed, created_at=created_at)
+        )
+
+
+class Image2ImagePipeline(_PipelineBase):
+    """Refinement of a cached image with a reduced number of steps."""
+
+    def __call__(
+        self,
+        prompt: PromptLike,
+        init_image: SyntheticImage,
+        skipped_steps: int,
+        seed: str = "default",
+        created_at: float = 0.0,
+    ) -> PipelineOutput:
+        return self._package(
+            self._model.refine(
+                prompt,
+                init_image,
+                skipped_steps,
+                seed=seed,
+                created_at=created_at,
+            )
+        )

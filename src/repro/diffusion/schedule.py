@@ -1,0 +1,121 @@
+"""Noise schedules and Eq. 2 forward re-noising.
+
+A schedule maps a timestep index ``t`` in ``[0, T]`` to a noise scale
+``sigma_t`` with ``sigma_0 = 1`` (pure noise) and ``sigma_T = 0`` (clean).
+MoDM re-enters the de-noising process at timestep ``t_k`` after *skipping*
+the first ``k`` steps, re-noising the retrieved image per Eq. 2:
+
+    noisy = sigma_{t_k} * eps + (1 - sigma_{t_k}) * image
+
+Flow-matching models (SD3.5-Large, FLUX) use a linear sigma ramp; a cosine
+(squared-cosine) schedule is provided for the classic DDPM-style variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+_KINDS = ("flow", "cosine")
+
+
+@dataclass(frozen=True)
+class NoiseSchedule:
+    """Discrete noise schedule over ``total_steps`` de-noising steps.
+
+    Attributes
+    ----------
+    total_steps:
+        ``T`` — number of de-noising iterations of a full generation.
+    kind:
+        ``"flow"`` for a linear ramp (flow-matching / rectified flow, used by
+        SD3.5-Large and FLUX) or ``"cosine"`` for the squared-cosine ramp.
+    """
+
+    total_steps: int = 50
+    kind: str = "flow"
+
+    def __post_init__(self) -> None:
+        if self.total_steps < 1:
+            raise ValueError("total_steps must be >= 1")
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown schedule kind {self.kind!r}; choose from {_KINDS}"
+            )
+
+    @property
+    def sigmas(self) -> np.ndarray:
+        """Noise scales ``sigma_t`` for ``t = 0 .. T`` (length ``T + 1``)."""
+        t = np.arange(self.total_steps + 1) / self.total_steps
+        if self.kind == "flow":
+            sig = 1.0 - t
+        else:  # cosine
+            sig = np.cos(0.5 * np.pi * t) ** 2
+        # Pin the endpoints exactly: sigma_0 = 1, sigma_T = 0.
+        sig[0] = 1.0
+        sig[-1] = 0.0
+        return sig
+
+    def sigma_at(self, step: int) -> float:
+        """Noise scale after skipping ``step`` de-noising iterations."""
+        if not 0 <= step <= self.total_steps:
+            raise ValueError(
+                f"step must be in [0, {self.total_steps}], got {step}"
+            )
+        return float(self.sigmas[step])
+
+    def remaining_steps(self, skipped: int) -> int:
+        """Number of de-noising iterations left after skipping ``skipped``."""
+        if not 0 <= skipped <= self.total_steps:
+            raise ValueError(
+                f"skipped must be in [0, {self.total_steps}], got {skipped}"
+            )
+        return self.total_steps - skipped
+
+    def renoise(
+        self,
+        image_content: np.ndarray,
+        skipped: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Forward re-noising of a cached image to timestep ``t_k`` (Eq. 2).
+
+        Parameters
+        ----------
+        image_content:
+            Content vector of the retrieved cached image.
+        skipped:
+            ``k`` — number of initial de-noising steps to skip.  ``k = 0``
+            re-noises to pure noise (full regeneration); ``k = T`` returns
+            the image unchanged.
+        rng:
+            Source of the Gaussian noise ``eps``.
+        """
+        sigma = self.sigma_at(skipped)
+        eps = rng.standard_normal(image_content.shape)
+        eps /= max(float(np.linalg.norm(eps)), 1e-12)
+        return sigma * eps + (1.0 - sigma) * image_content
+
+    def structure_retention(self, skipped: int) -> float:
+        """Fraction of the cached image's structure surviving re-noising.
+
+        This is the ``(1 - sigma_{t_k})`` factor of Eq. 2: how much of the
+        retrieved image is still present when de-noising resumes.  The
+        refinement dynamics in :mod:`repro.diffusion.model` build on it.
+        """
+        return 1.0 - self.sigma_at(skipped)
+
+    def scaled_skip(self, skip_fraction: float) -> int:
+        """Convert a skip *fraction* of ``T`` into whole steps.
+
+        MoDM's ``K = {5, 10, 15, 20, 25, 30}`` at ``T = 50`` corresponds to
+        fractions ``{0.1 .. 0.6}``; distilled models with ``T = 10`` reuse
+        the same fractions (e.g., SD3.5L-Turbo skips ``{1 .. 6}`` steps).
+        """
+        if not 0.0 <= skip_fraction <= 1.0:
+            raise ValueError(
+                f"skip_fraction must be in [0, 1], got {skip_fraction}"
+            )
+        return int(round(skip_fraction * self.total_steps))

@@ -1,0 +1,39 @@
+"""CLIP-like dual-encoder substrate.
+
+The paper retrieves cached images by comparing a CLIP *text* embedding of the
+incoming prompt against CLIP *image* embeddings of cached images (§3.2,
+§5.2).  No pretrained CLIP is available offline, so this package implements a
+deterministic synthetic equivalent:
+
+* prompts carry a *deep semantic vector* (the visual intent) plus *surface
+  tokens* (the wording);
+* the text encoder mixes deep semantics with surface wording, so two prompts
+  can read alike while meaning different pictures (the failure mode of
+  text-to-text retrieval shown in Fig. 3);
+* the image encoder reflects what an image actually depicts;
+* text and image embeddings live in different cones of the embedding space
+  (the CLIP "modality gap"), which keeps text-to-image cosine similarities in
+  the paper's 0.20-0.34 operating range while text-to-text similarities live
+  in the 0.65-0.95 range used by Nirvana.
+"""
+
+from repro.embedding.image_encoder import ClipLikeImageEncoder
+from repro.embedding.space import SemanticSpace, SpaceConfig
+from repro.embedding.text_encoder import ClipLikeTextEncoder
+from repro.embedding.vocab import (
+    CATEGORIES,
+    Vocabulary,
+    surface_vector,
+    token_vector,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "ClipLikeImageEncoder",
+    "ClipLikeTextEncoder",
+    "SemanticSpace",
+    "SpaceConfig",
+    "Vocabulary",
+    "surface_vector",
+    "token_vector",
+]

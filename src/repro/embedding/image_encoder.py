@@ -1,0 +1,88 @@
+"""CLIP-like image encoder.
+
+Encodes what an image *depicts* — its content vector, produced by the
+diffusion substrate — into the shared embedding space on the *image* side of
+the modality gap, with a small deterministic per-image perturbation modelling
+encoder imperfection.  Because the encoder sees content rather than wording,
+text-to-image retrieval tracks visual alignment (§3.2's insight).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro._rng import normalize, rng_for, unit_vector
+from repro.embedding.space import SemanticSpace
+
+
+class ImageLike(Protocol):
+    """Anything encodable as an image.
+
+    ``content`` is the depicted-semantics vector in the semantic subspace
+    (not necessarily unit norm); ``image_id`` keys the deterministic encoder
+    perturbation and the embedding cache.
+    """
+
+    image_id: str
+    content: np.ndarray
+
+
+class ClipLikeImageEncoder:
+    """Deterministic image encoder over a :class:`SemanticSpace`."""
+
+    _NOISE_STREAM = "image-encoder-noise"
+
+    def __init__(self, space: SemanticSpace, cache_embeddings: bool = True):
+        self._space = space
+        self._anchor = space.image_anchor()
+        self._cache: Optional[Dict[str, np.ndarray]] = (
+            {} if cache_embeddings else None
+        )
+
+    @property
+    def space(self) -> SemanticSpace:
+        return self._space
+
+    @property
+    def embed_dim(self) -> int:
+        return self._space.config.embed_dim
+
+    def encode(self, image: ImageLike) -> np.ndarray:
+        """Embed one image; results are cached by ``image_id``."""
+        if self._cache is not None:
+            hit = self._cache.get(image.image_id)
+            if hit is not None:
+                return hit
+        embedding = self._encode_content(image.content, image.image_id)
+        if self._cache is not None:
+            self._cache[image.image_id] = embedding
+        return embedding
+
+    def encode_batch(self, images: Sequence[ImageLike]) -> np.ndarray:
+        """Embed a sequence of images into an ``(n, embed_dim)`` array."""
+        if not images:
+            return np.zeros((0, self.embed_dim))
+        return np.stack([self.encode(img) for img in images])
+
+    def _encode_content(self, content: np.ndarray, key: str) -> np.ndarray:
+        cfg = self._space.config
+        if content.shape != (cfg.semantic_dim,):
+            raise ValueError(
+                "expected content of shape "
+                f"({cfg.semantic_dim},), got {content.shape}"
+            )
+        semantic = normalize(content)
+        if cfg.image_encoder_noise > 0.0:
+            rng = rng_for(self._NOISE_STREAM, cfg.seed, key)
+            noise = unit_vector(rng, cfg.semantic_dim)
+            semantic = normalize(
+                semantic + cfg.image_encoder_noise * noise
+            )
+        scaled = cfg.modality_scale * self._space.pad(semantic)
+        return normalize(scaled + self._anchor)
+
+    def clear_cache(self) -> None:
+        if self._cache is not None:
+            self._cache.clear()

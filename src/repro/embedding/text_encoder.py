@@ -1,0 +1,101 @@
+"""CLIP-like text encoder.
+
+The text encoder mixes a prompt's deep semantics (its visual intent) with its
+surface wording, then projects the mixture into the shared embedding space on
+the *text* side of the modality gap.  The surface component is what makes
+text-to-text retrieval fallible: prompts that share wording but not intent
+embed close together (Fig. 3's "selfie" example), while the image encoder
+sees only what was actually depicted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro._rng import normalize
+from repro.embedding.space import SemanticSpace
+from repro.embedding.vocab import surface_vector
+
+
+class PromptLike(Protocol):
+    """Anything encodable as a prompt.
+
+    ``semantics`` is the deep-intent unit vector in the semantic subspace;
+    ``tokens`` is the surface wording; ``prompt_id`` keys the encoder cache.
+    """
+
+    prompt_id: str
+    semantics: np.ndarray
+    tokens: Sequence[str]
+
+
+def prompt_mixture(space: SemanticSpace, prompt: "PromptLike") -> np.ndarray:
+    """Deep + surface mixture of a prompt in the semantic subspace.
+
+    This is both what the text encoder embeds and what a diffusion model
+    conditions on — the model renders the wording as well as the intent, so
+    a faithful generation agrees with this mixture, not with the raw deep
+    semantics alone.
+    """
+    cfg = space.config
+    surface = surface_vector(list(prompt.tokens), cfg.semantic_dim)
+    mixture = cfg.deep_weight * prompt.semantics
+    mixture = mixture + cfg.surface_weight * surface
+    return normalize(mixture)
+
+
+class ClipLikeTextEncoder:
+    """Deterministic text encoder over a :class:`SemanticSpace`.
+
+    Parameters
+    ----------
+    space:
+        Shared semantic space defining geometry and calibration.
+    cache_embeddings:
+        Keep a per-``prompt_id`` embedding cache (the paper's scheduler hosts
+        one CLIP model and embeds each request once).
+    """
+
+    def __init__(self, space: SemanticSpace, cache_embeddings: bool = True):
+        self._space = space
+        self._anchor = space.text_anchor()
+        self._cache: Optional[Dict[str, np.ndarray]] = (
+            {} if cache_embeddings else None
+        )
+
+    @property
+    def space(self) -> SemanticSpace:
+        return self._space
+
+    @property
+    def embed_dim(self) -> int:
+        return self._space.config.embed_dim
+
+    def semantic_mixture(self, prompt: PromptLike) -> np.ndarray:
+        """Deep + surface mixture in the semantic subspace (unit norm)."""
+        return prompt_mixture(self._space, prompt)
+
+    def encode(self, prompt: PromptLike) -> np.ndarray:
+        """Embed one prompt; results are cached by ``prompt_id``."""
+        if self._cache is not None:
+            hit = self._cache.get(prompt.prompt_id)
+            if hit is not None:
+                return hit
+        mixture = self.semantic_mixture(prompt)
+        scaled = self._space.config.modality_scale * self._space.pad(mixture)
+        embedding = normalize(scaled + self._anchor)
+        if self._cache is not None:
+            self._cache[prompt.prompt_id] = embedding
+        return embedding
+
+    def encode_batch(self, prompts: Sequence[PromptLike]) -> np.ndarray:
+        """Embed a sequence of prompts into an ``(n, embed_dim)`` array."""
+        if not prompts:
+            return np.zeros((0, self.embed_dim))
+        return np.stack([self.encode(p) for p in prompts])
+
+    def clear_cache(self) -> None:
+        if self._cache is not None:
+            self._cache.clear()

@@ -1,0 +1,170 @@
+"""Token vocabulary for the synthetic prompt space.
+
+Prompts in the reproduction are composed from category pools (subject, style,
+setting, modifier, quality tag) the way DiffusionDB prompts compose subjects
+with style directives.  Each token owns a deterministic unit vector; the mean
+of a prompt's token vectors is its *surface* representation — what the prompt
+literally says, as opposed to what it visually means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro._rng import normalize, rng_for, unit_vector
+
+SUBJECTS: Tuple[str, ...] = (
+    "astronaut", "dragon", "castle", "robot", "forest", "city", "ocean",
+    "mountain", "cat", "dog", "woman", "man", "child", "knight", "wizard",
+    "spaceship", "garden", "temple", "bridge", "desert", "village", "library",
+    "lighthouse", "waterfall", "samurai", "phoenix", "wolf", "tiger", "horse",
+    "owl", "ballerina", "pirate", "mermaid", "cyborg", "android", "detective",
+    "chef", "musician", "dancer", "painter", "skyline", "canyon", "glacier",
+    "volcano", "island", "market", "cathedral", "subway", "airport", "harbor",
+    "meadow", "ruins", "palace", "laboratory", "observatory", "carnival",
+    "train", "submarine", "balloon", "windmill", "batman", "bitcoin",
+    "sneaker", "bulldog", "selfie",
+)
+
+STYLES: Tuple[str, ...] = (
+    "watercolor", "oil-painting", "photorealistic", "anime", "cyberpunk",
+    "steampunk", "baroque", "impressionist", "minimalist", "surrealist",
+    "pixel-art", "low-poly", "concept-art", "cinematic", "noir",
+    "art-nouveau", "ukiyo-e", "vaporwave", "gothic", "renaissance",
+    "cartoon", "sketch", "charcoal", "pastel", "pop-art", "abstract",
+    "hyperrealistic", "retro-futurist", "illustration", "hdr",
+)
+
+SETTINGS: Tuple[str, ...] = (
+    "at-sunset", "at-dawn", "in-the-rain", "under-moonlight", "in-fog",
+    "in-snow", "in-spring", "in-autumn", "underwater", "in-space",
+    "on-mars", "in-a-storm", "at-golden-hour", "at-night", "in-neon-light",
+    "in-candlelight", "in-a-blizzard", "during-an-eclipse", "in-a-jungle",
+    "in-the-desert", "on-a-cliff", "by-the-sea", "in-a-meadow",
+    "inside-a-cave", "on-a-rooftop", "in-an-alley", "in-a-cathedral",
+    "in-a-dream", "in-ruins", "in-a-garden", "at-a-festival", "in-a-market",
+    "on-a-battlefield", "in-a-throne-room", "in-a-workshop", "in-an-orchard",
+    "on-a-glacier", "in-a-canyon", "at-the-apocalypse", "in-a-nebula",
+)
+
+MODIFIERS: Tuple[str, ...] = (
+    "dramatic-lighting", "volumetric-light", "ultra-detailed", "8k",
+    "trending-on-artstation", "sharp-focus", "soft-focus", "wide-angle",
+    "close-up", "aerial-view", "symmetrical", "vibrant-colors",
+    "muted-colors", "high-contrast", "shallow-depth-of-field", "bokeh",
+    "long-exposure", "golden-ratio", "epic-composition", "intricate",
+    "ornate", "weathered", "glowing", "translucent", "iridescent",
+    "monochrome", "sepia", "double-exposure", "fisheye", "tilt-shift",
+    "macro", "grainy", "dreamy", "ominous", "serene", "chaotic",
+    "majestic", "whimsical", "melancholic", "triumphant",
+)
+
+QUALITY_TAGS: Tuple[str, ...] = (
+    "masterpiece", "best-quality", "highly-detailed", "award-winning",
+    "professional", "studio-lighting", "national-geographic", "unreal-engine",
+    "octane-render", "ray-tracing", "film-grain", "35mm", "imax",
+    "high-resolution", "crisp",
+)
+
+CATEGORIES: Dict[str, Tuple[str, ...]] = {
+    "subject": SUBJECTS,
+    "style": STYLES,
+    "setting": SETTINGS,
+    "modifier": MODIFIERS,
+    "quality": QUALITY_TAGS,
+}
+
+_TOKEN_STREAM = "vocab-token-v1"
+
+# Token vectors are pure functions of (token, dim); memoize at module level
+# because surface vectors are recomputed on every prompt encode/generation.
+_TOKEN_VECTOR_CACHE: Dict[Tuple[str, int], np.ndarray] = {}
+
+
+def token_vector(token: str, dim: int) -> np.ndarray:
+    """Deterministic unit vector for ``token`` in ``dim`` dimensions."""
+    key = (token, dim)
+    vec = _TOKEN_VECTOR_CACHE.get(key)
+    if vec is None:
+        vec = unit_vector(rng_for(_TOKEN_STREAM, token, dim), dim)
+        _TOKEN_VECTOR_CACHE[key] = vec
+    return vec
+
+
+def surface_vector(tokens: Sequence[str], dim: int) -> np.ndarray:
+    """Surface representation of a prompt: normalized mean of token vectors.
+
+    Two prompts sharing a fraction ``q`` of their tokens have surface cosine
+    roughly ``q``, which is what lets text-to-text retrieval latch onto
+    wording overlap regardless of visual intent.
+    """
+    if not tokens:
+        return np.zeros(dim)
+    acc = np.zeros(dim)
+    for token in tokens:
+        acc += token_vector(token, dim)
+    return normalize(acc)
+
+
+@dataclass
+class Vocabulary:
+    """Category-structured token pools with cached token vectors.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality of token vectors (the semantic dimension of the
+        embedding space).
+    categories:
+        Mapping from category name to token tuple.  Defaults to the built-in
+        DiffusionDB-flavoured pools.
+    """
+
+    dim: int
+    categories: Dict[str, Tuple[str, ...]] = field(
+        default_factory=lambda: dict(CATEGORIES)
+    )
+    _cache: Dict[str, np.ndarray] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.dim <= 0:
+            raise ValueError(f"dim must be positive, got {self.dim}")
+        for name, pool in self.categories.items():
+            if not pool:
+                raise ValueError(f"category {name!r} has no tokens")
+
+    @property
+    def all_tokens(self) -> List[str]:
+        return [t for pool in self.categories.values() for t in pool]
+
+    def tokens_in(self, category: str) -> Tuple[str, ...]:
+        try:
+            return self.categories[category]
+        except KeyError:
+            raise KeyError(
+                f"unknown category {category!r}; "
+                f"available: {sorted(self.categories)}"
+            ) from None
+
+    def sample(self, category: str, rng: np.random.Generator) -> str:
+        pool = self.tokens_in(category)
+        return pool[int(rng.integers(len(pool)))]
+
+    def vector(self, token: str) -> np.ndarray:
+        vec = self._cache.get(token)
+        if vec is None:
+            vec = token_vector(token, self.dim)
+            self._cache[token] = vec
+        return vec
+
+    def surface(self, tokens: Iterable[str]) -> np.ndarray:
+        toks = list(tokens)
+        if not toks:
+            return np.zeros(self.dim)
+        acc = np.zeros(self.dim)
+        for token in toks:
+            acc += self.vector(token)
+        return normalize(acc)

@@ -1,0 +1,24 @@
+"""Experiment harness: one entry point per paper table and figure.
+
+``repro.experiments.figures`` and ``repro.experiments.tables`` regenerate
+every evaluation artefact of the paper on the simulation substrate; the
+``benchmarks/`` directory wraps each in a pytest-benchmark target that
+prints the same rows/series the paper reports.  ``ExperimentScale`` presets
+trade run time for statistical resolution; every experiment records the
+scale it ran at.
+"""
+
+from repro.experiments.harness import (
+    ExperimentContext,
+    ExperimentScale,
+    SCALES,
+)
+from repro.experiments.reporting import ExperimentResult, format_table
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentResult",
+    "ExperimentScale",
+    "SCALES",
+    "format_table",
+]

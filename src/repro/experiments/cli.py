@@ -1,0 +1,172 @@
+"""Command-line runner for the paper's experiments.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig7 table2 --scale default
+    python -m repro.experiments run all --scale smoke
+
+Each experiment prints the same rows/series the paper reports and, with
+``--output-dir``, writes the rendered table to ``<dir>/<id>.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments import figures, tables
+from repro.experiments.harness import ExperimentContext, SCALES
+from repro.experiments.reporting import ExperimentResult
+
+Runner = Callable[[ExperimentContext], ExperimentResult]
+
+#: Registry of experiment id -> (runner, one-line description).
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig2": (
+        figures.fig2_retrieval_distributions,
+        "retrieval-quality distributions by similarity policy",
+    ),
+    "fig3": (
+        figures.fig3_retrieval_examples,
+        "qualitative text-to-text retrieval mismatches",
+    ),
+    "fig5": (
+        figures.fig5_quality_vs_similarity,
+        "quality factor vs similarity; derived k thresholds",
+    ),
+    "fig6": (
+        figures.fig6_hit_rate_over_trace,
+        "cumulative hit rate over the trace, two cache sizes",
+    ),
+    "fig7": (
+        figures.fig7_throughput,
+        "normalized max throughput (SD3.5-Large vanilla)",
+    ),
+    "fig8": (
+        figures.fig8_throughput_flux,
+        "normalized max throughput (FLUX vanilla)",
+    ),
+    "fig9": (
+        figures.fig9_cache_hit_rates,
+        "hit rates and k mix vs cache size (DiffusionDB)",
+    ),
+    "fig10": (
+        figures.fig10_increasing_load,
+        "throughput under ramping demand with model switching",
+    ),
+    "fig11": (
+        figures.fig11_scalability,
+        "throughput scaling with GPU count",
+    ),
+    "fig12": (figures.fig12_slo_2x, "SLO violation rate at 2x latency"),
+    "fig13": (figures.fig13_slo_4x, "SLO violation rate at 4x latency"),
+    "fig14": (
+        figures.fig14_tradeoff,
+        "FID vs 1/throughput trade-off space (FLUX)",
+    ),
+    "fig15": (
+        figures.fig15_temporal_locality,
+        "time between requests and their retrieved cache entries",
+    ),
+    "fig16": (
+        figures.fig16_tail_latency,
+        "P99 tail latency vs request rate",
+    ),
+    "fig17": (
+        figures.fig17_fluctuating,
+        "throughput under fluctuating request rates",
+    ),
+    "fig18": (figures.fig18_energy, "energy savings vs Vanilla"),
+    "fig19": (
+        figures.fig19_mjhq_hit_rates,
+        "hit rates and k mix vs cache size (MJHQ)",
+    ),
+    "table2": (
+        tables.table2_image_quality,
+        "image quality table (SD3.5-Large vanilla)",
+    ),
+    "table3": (
+        tables.table3_image_quality_flux,
+        "image quality table (FLUX vanilla)",
+    ),
+    "a6": (
+        tables.a6_small_model_cache_quality,
+        "effect of caching small-model refinements",
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the ``list`` and ``run`` subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the MoDM paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument(
+        "ids",
+        nargs="+",
+        help="experiment ids (see 'list'), or 'all'",
+    )
+    run.add_argument(
+        "--scale",
+        default="default",
+        choices=sorted(SCALES),
+        help="run size preset (default: default)",
+    )
+    run.add_argument(
+        "--output-dir",
+        default=None,
+        help="also write rendered tables to <dir>/<id>.txt",
+    )
+    return parser
+
+
+def resolve_ids(ids: Sequence[str]) -> List[str]:
+    """Expand ``all`` and validate experiment ids against the registry."""
+    if list(ids) == ["all"]:
+        return list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(
+            f"unknown experiment ids {unknown}; run 'list' to see options"
+        )
+    return list(ids)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (_, description) in EXPERIMENTS.items():
+            print(f"{name:<{width}}  {description}")
+        return 0
+
+    ids = resolve_ids(args.ids)
+    ctx = ExperimentContext(scale=args.scale)
+    for experiment_id in ids:
+        runner, _ = EXPERIMENTS[experiment_id]
+        result = runner(ctx)
+        rendered = result.render()
+        print(rendered)
+        print()
+        if args.output_dir:
+            os.makedirs(args.output_dir, exist_ok=True)
+            path = os.path.join(
+                args.output_dir, f"{result.experiment_id}.txt"
+            )
+            with open(path, "w") as handle:
+                handle.write(rendered + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

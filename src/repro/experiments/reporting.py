@@ -1,0 +1,82 @@
+"""Result containers and plain-text rendering for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one paper-experiment reproduction.
+
+    ``rows`` is a list of dicts sharing keys (one per table row / plotted
+    series point); ``notes`` records scale and substitutions so printed
+    output is self-describing.
+    """
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    paper_reference: Optional[str] = None
+
+    def add_row(self, **fields: object) -> None:
+        self.rows.append(dict(fields))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, key: str) -> List[object]:
+        """Values of one column across rows (missing keys skipped)."""
+        return [row[key] for row in self.rows if key in row]
+
+    def render(self) -> str:
+        """Human-readable block: header, notes, table."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.paper_reference:
+            lines.append(f"paper: {self.paper_reference}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        if self.rows:
+            keys: List[str] = []
+            for row in self.rows:
+                for key in row:
+                    if key not in keys:
+                        keys.append(key)
+            table_rows = [
+                [_fmt(row.get(key, "")) for key in keys]
+                for row in self.rows
+            ]
+            lines.append(format_table(keys, table_rows))
+        return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Fixed-width ASCII table."""
+    if not headers:
+        raise ValueError("need at least one column")
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        sep,
+    ]
+    for row in rows:
+        out.append(
+            " | ".join(str(c).ljust(w) for c, w in zip(row, widths))
+        )
+    return "\n".join(out)

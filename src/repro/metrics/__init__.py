@@ -1,0 +1,36 @@
+"""Quality and serving metrics.
+
+Implements the paper's four image-quality metrics over the synthetic
+substrate — CLIPScore (text-image alignment), FID (distributional fidelity
+against a reference set), Inception Score (confidence x diversity of class
+predictions), PickScore (human-preference proxy) — plus the serving metrics:
+latency percentiles, SLO-violation rates, and throughput timelines.
+"""
+
+from repro.metrics.clipscore import ClipScoreMetric
+from repro.metrics.diversity import class_coverage, pairwise_diversity
+from repro.metrics.fid import FidMetric, frechet_distance
+from repro.metrics.inception import InceptionScoreMetric
+from repro.metrics.latency import (
+    LatencyStats,
+    SloReport,
+    percentile,
+    slo_violation_rate,
+    throughput_timeline,
+)
+from repro.metrics.pickscore import PickScoreMetric
+
+__all__ = [
+    "ClipScoreMetric",
+    "class_coverage",
+    "pairwise_diversity",
+    "FidMetric",
+    "InceptionScoreMetric",
+    "LatencyStats",
+    "PickScoreMetric",
+    "SloReport",
+    "frechet_distance",
+    "percentile",
+    "slo_violation_rate",
+    "throughput_timeline",
+]

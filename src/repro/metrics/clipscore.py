@@ -1,0 +1,70 @@
+"""CLIPScore: text-image alignment.
+
+The cosine between a prompt's text embedding and an image's embedding in the
+shared space, reported both raw (Fig. 2's 0.05-0.40 axis) and scaled by 100
+(Tables 2-3's ~26-29 range).  Negative cosines clamp to zero, following the
+reference CLIPScore definition.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.embedding.image_encoder import ClipLikeImageEncoder, ImageLike
+from repro.embedding.space import SemanticSpace, cosine
+from repro.embedding.text_encoder import ClipLikeTextEncoder, PromptLike
+
+#: Tables 2-3 report CLIPScore on a 0-100 scale.
+CLIP_SCALE = 100.0
+
+
+class ClipScoreMetric:
+    """Scores prompt/image alignment with the synthetic dual encoder."""
+
+    def __init__(
+        self,
+        space: SemanticSpace,
+        text_encoder: ClipLikeTextEncoder = None,
+        image_encoder: ClipLikeImageEncoder = None,
+    ):
+        self._space = space
+        self._text_encoder = text_encoder or ClipLikeTextEncoder(space)
+        self._image_encoder = image_encoder or ClipLikeImageEncoder(space)
+
+    @property
+    def text_encoder(self) -> ClipLikeTextEncoder:
+        return self._text_encoder
+
+    @property
+    def image_encoder(self) -> ClipLikeImageEncoder:
+        return self._image_encoder
+
+    def raw(self, prompt: PromptLike, image: ImageLike) -> float:
+        """Raw cosine in [0, 1] (negatives clamp to 0)."""
+        sim = cosine(
+            self._text_encoder.encode(prompt),
+            self._image_encoder.encode(image),
+        )
+        return max(0.0, sim)
+
+    def score(self, prompt: PromptLike, image: ImageLike) -> float:
+        """CLIPScore on the 0-100 scale of Tables 2-3."""
+        return CLIP_SCALE * self.raw(prompt, image)
+
+    def score_batch(
+        self,
+        pairs: Sequence[Tuple[PromptLike, ImageLike]],
+    ) -> np.ndarray:
+        """Scores for a sequence of (prompt, image) pairs."""
+        return np.array([self.score(p, i) for p, i in pairs])
+
+    def mean_score(
+        self,
+        pairs: Sequence[Tuple[PromptLike, ImageLike]],
+    ) -> float:
+        """Mean CLIPScore over pairs — the number the tables report."""
+        if not pairs:
+            raise ValueError("mean_score needs at least one pair")
+        return float(self.score_batch(pairs).mean())

@@ -1,0 +1,61 @@
+"""Generation-diversity metrics (the paper's stated future work, §A.8 Q.10).
+
+MoDM argues its FIFO cache keeps generations diverse by preventing a small
+set of popular cached images from dominating reuse; the paper leaves the
+quantitative evaluation to future work.  Two complementary measures:
+
+* :func:`pairwise_diversity` — mean pairwise cosine *distance* between
+  image contents: collapses toward 0 when outputs cluster around a few
+  reused templates.
+* :func:`class_coverage` — normalized entropy of the marginal class
+  distribution under the Inception-style classifier: 1.0 when generations
+  spread evenly over the class space, lower when they concentrate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._rng import normalize
+from repro.embedding.image_encoder import ImageLike
+from repro.metrics.inception import InceptionScoreMetric
+
+
+def pairwise_diversity(
+    images: Sequence[ImageLike], max_pairs: int = 200_000
+) -> float:
+    """Mean pairwise cosine distance of image contents, in [0, 2].
+
+    For sets whose full pair count exceeds ``max_pairs``, the estimator
+    uses the exact Gram computation on the full set anyway when it fits
+    (n^2 <= 4 * max_pairs) and otherwise a deterministic subsample of the
+    images — diversity is a population statistic, so subsampling is safe.
+    """
+    if len(images) < 2:
+        raise ValueError("need at least two images")
+    contents = np.stack([normalize(img.content) for img in images])
+    n = contents.shape[0]
+    if n * (n - 1) // 2 > max_pairs:
+        stride = max(1, int(np.ceil(n / np.sqrt(2 * max_pairs))))
+        contents = contents[::stride]
+        n = contents.shape[0]
+    gram = contents @ contents.T
+    upper = gram[np.triu_indices(n, k=1)]
+    return float(np.mean(1.0 - upper))
+
+
+def class_coverage(
+    images: Sequence[ImageLike],
+    metric: InceptionScoreMetric,
+) -> float:
+    """Normalized entropy of the marginal class distribution, in [0, 1]."""
+    if not images:
+        raise ValueError("need at least one image")
+    probs = metric.predictions(images)
+    marginal = probs.mean(axis=0)
+    entropy = float(
+        -(marginal * np.log(marginal + 1e-12)).sum()
+    )
+    return entropy / float(np.log(marginal.shape[0]))

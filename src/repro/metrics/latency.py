@@ -1,0 +1,142 @@
+"""Serving metrics: latency percentiles, SLO compliance, throughput.
+
+The paper's serving evaluation reports maximum throughput (Figs. 7-8),
+throughput over time under varying demand (Figs. 10, 17), P99 tail latency
+(Fig. 16), and SLO-violation rates at 2x / 4x the large model's solo
+inference latency (Figs. 12-13).  These helpers operate on the per-request
+records a serving run produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) of ``values``."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("percentile of empty sequence")
+    return float(np.percentile(arr, q))
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of end-to-end request latencies."""
+
+    count: int
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    max_s: float
+
+    @classmethod
+    def from_latencies(cls, latencies: Sequence[float]) -> "LatencyStats":
+        arr = np.asarray(latencies, dtype=float)
+        if arr.size == 0:
+            raise ValueError("no latencies to summarize")
+        if (arr < 0).any():
+            raise ValueError("latencies must be non-negative")
+        return cls(
+            count=int(arr.size),
+            mean_s=float(arr.mean()),
+            p50_s=float(np.percentile(arr, 50)),
+            p95_s=float(np.percentile(arr, 95)),
+            p99_s=float(np.percentile(arr, 99)),
+            max_s=float(arr.max()),
+        )
+
+
+@dataclass(frozen=True)
+class SloReport:
+    """SLO compliance at a latency threshold."""
+
+    threshold_s: float
+    total: int
+    violations: int
+
+    @property
+    def violation_rate(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.violations / self.total
+
+    @property
+    def compliant(self) -> bool:
+        return self.violations == 0
+
+
+def slo_violation_rate(
+    latencies: Sequence[float], threshold_s: float
+) -> SloReport:
+    """Fraction of requests whose latency exceeds ``threshold_s``.
+
+    The paper's thresholds are multiples (2x, 4x) of the large model's solo
+    inference latency; compute that latency via
+    ``ModelSpec.service_time_s(gpu, total_steps)`` and scale.
+    """
+    if threshold_s <= 0:
+        raise ValueError("threshold_s must be positive")
+    arr = np.asarray(latencies, dtype=float)
+    return SloReport(
+        threshold_s=threshold_s,
+        total=int(arr.size),
+        violations=int((arr > threshold_s).sum()),
+    )
+
+
+def throughput_timeline(
+    completion_times: Sequence[float],
+    bucket_s: float = 60.0,
+    end_time: float = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Completed requests per minute in consecutive time buckets.
+
+    Returns ``(bucket_centers_s, rate_per_min)`` — the series Figs. 10 and
+    17 plot against the demanded request rate.
+    """
+    if bucket_s <= 0:
+        raise ValueError("bucket_s must be positive")
+    times = np.asarray(completion_times, dtype=float)
+    if times.size == 0:
+        return np.array([]), np.array([])
+    horizon = float(times.max() if end_time is None else end_time)
+    n_buckets = max(1, int(np.ceil(horizon / bucket_s)))
+    edges = np.arange(n_buckets + 1) * bucket_s
+    counts, _ = np.histogram(times, bins=edges)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return centers, counts * (60.0 / bucket_s)
+
+
+def makespan(completion_times: Sequence[float]) -> float:
+    """Time from zero to the last completion — the max-throughput runtime."""
+    times = np.asarray(completion_times, dtype=float)
+    if times.size == 0:
+        return 0.0
+    return float(times.max())
+
+
+def offered_vs_served(
+    arrivals: Sequence[float],
+    completions: Sequence[float],
+    bucket_s: float = 60.0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Demand and service rates on a shared time axis.
+
+    Returns ``(centers, offered_per_min, served_per_min)``; the divergence
+    of the two series is how Figs. 10/17 show systems falling behind.
+    """
+    horizon = 0.0
+    if len(arrivals):
+        horizon = max(horizon, float(np.max(arrivals)))
+    if len(completions):
+        horizon = max(horizon, float(np.max(completions)))
+    centers, offered = throughput_timeline(arrivals, bucket_s, horizon)
+    _, served = throughput_timeline(completions, bucket_s, horizon)
+    return centers, offered, served

@@ -1,0 +1,31 @@
+"""Synthetic workload traces.
+
+The paper evaluates on DiffusionDB (a 2M-prompt production trace with
+timestamps) and MJHQ-30k (a curated MidJourney set without timestamps).
+Neither ships offline, so this package generates traces with the properties
+the serving results depend on:
+
+* **DiffusionDB-like** — users iteratively refine prompts in sessions, so
+  similar requests arrive minutes apart: >90 % of cache hits retrieve images
+  generated within the previous four hours (Fig. 15), and FIFO cache
+  maintenance works well (§5.4).
+* **MJHQ-like** — near-duplicate prompt families exist but are shuffled
+  across the trace, so hit rates are lower at equal cache size and caching
+  small-model outputs buys little (Fig. 19).
+"""
+
+from repro.workloads.diffusiondb import DiffusionDBConfig, diffusiondb_trace
+from repro.workloads.mjhq import MJHQConfig, mjhq_trace
+from repro.workloads.prompts import Prompt, PromptFactory
+from repro.workloads.trace import Trace, TraceRequest
+
+__all__ = [
+    "DiffusionDBConfig",
+    "MJHQConfig",
+    "Prompt",
+    "PromptFactory",
+    "Trace",
+    "TraceRequest",
+    "diffusiondb_trace",
+    "mjhq_trace",
+]

@@ -1,0 +1,195 @@
+"""Prompt objects and the compositional prompt factory.
+
+A prompt couples *surface wording* (tokens drawn from category pools) with a
+*deep semantic vector* (the visual intent).  Topics tie the two together:
+prompts about the same topic share token pools and cluster in semantic
+space, with session-level drift (one user's take on the topic) and
+prompt-level drift (iterative refinement of one intent) layered on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._rng import rng_for
+from repro.embedding.space import SemanticSpace
+from repro.embedding.vocab import Vocabulary
+
+
+@dataclass(frozen=True)
+class Prompt:
+    """One text-to-image request payload.
+
+    Satisfies the ``PromptLike`` protocol of the encoders: ``prompt_id``,
+    ``semantics`` (deep intent, unit vector in the semantic subspace), and
+    ``tokens`` (surface wording).
+    """
+
+    prompt_id: str
+    text: str
+    tokens: Tuple[str, ...]
+    semantics: np.ndarray
+    topic_id: int
+    session_id: str
+    user_id: str
+
+    def __post_init__(self) -> None:
+        if not self.prompt_id:
+            raise ValueError("prompt_id must be non-empty")
+        if self.semantics.ndim != 1:
+            raise ValueError("semantics must be a 1-D vector")
+
+
+@dataclass
+class PromptFactory:
+    """Deterministic generator of topic/session/prompt hierarchies.
+
+    Parameters
+    ----------
+    space:
+        Semantic space providing topic vectors and drift.
+    vocab:
+        Token pools; its ``dim`` must equal the space's semantic dimension.
+    namespace:
+        Distinguishes traces (e.g., ``"diffusiondb"`` vs ``"mjhq"``) so the
+        same topic ids produce unrelated content across traces.
+    session_drift:
+        Semantic distance of a session's intent from its topic centre.
+    prompt_drift:
+        Semantic distance between iterations within one session.
+    """
+
+    space: SemanticSpace
+    vocab: Vocabulary
+    namespace: str = "trace"
+    session_drift: float = 0.35
+    prompt_drift: float = 0.12
+
+    def __post_init__(self) -> None:
+        if self.vocab.dim != self.space.config.semantic_dim:
+            raise ValueError(
+                "vocabulary dimension must match the space's semantic_dim "
+                f"({self.vocab.dim} != {self.space.config.semantic_dim})"
+            )
+
+    # ------------------------------------------------------------------
+    # Topic / session structure
+    # ------------------------------------------------------------------
+    def topic_tokens(self, topic_id: int) -> dict:
+        """Token pools characteristic of a topic.
+
+        A topic pins one subject and narrows styles/settings to a couple of
+        options, so prompts about the same topic overlap in wording.
+        """
+        rng = rng_for(self.namespace, "topic-tokens", topic_id)
+        return {
+            "subject": self.vocab.sample("subject", rng),
+            "styles": [self.vocab.sample("style", rng) for _ in range(2)],
+            "settings": [self.vocab.sample("setting", rng) for _ in range(2)],
+        }
+
+    def session_semantics(self, topic_id: int, session_key: str) -> np.ndarray:
+        base = self.space.topic_vector(topic_id)
+        return self.space.drift(
+            base, self.session_drift, self.namespace, "session", session_key
+        )
+
+    # ------------------------------------------------------------------
+    # Prompt construction
+    # ------------------------------------------------------------------
+    def make_prompt(
+        self,
+        topic_id: int,
+        session_key: str,
+        iteration: int,
+        user_id: str = "anon",
+        session_semantics: Optional[np.ndarray] = None,
+    ) -> Prompt:
+        """Build the ``iteration``-th prompt of a session.
+
+        Iterations share the session's core tokens (subject, style, setting)
+        and intent, varying modifiers and drifting slightly in semantics —
+        the iterative-refinement behaviour DiffusionDB exhibits.
+        """
+        if iteration < 0:
+            raise ValueError("iteration must be non-negative")
+        topic = self.topic_tokens(topic_id)
+        session_rng = rng_for(self.namespace, "session-tokens", session_key)
+        style = topic["styles"][int(session_rng.integers(2))]
+        setting = topic["settings"][int(session_rng.integers(2))]
+
+        prompt_rng = rng_for(
+            self.namespace, "prompt-tokens", session_key, iteration
+        )
+        modifiers = [
+            self.vocab.sample("modifier", prompt_rng) for _ in range(2)
+        ]
+        tokens: List[str] = [topic["subject"], style, setting, *modifiers]
+        if prompt_rng.random() < 0.5:
+            tokens.append(self.vocab.sample("quality", prompt_rng))
+
+        if session_semantics is None:
+            session_semantics = self.session_semantics(topic_id, session_key)
+        semantics = self.space.drift(
+            session_semantics,
+            self.prompt_drift,
+            self.namespace,
+            "prompt",
+            session_key,
+            iteration,
+        )
+        prompt_id = f"{self.namespace}/{session_key}/{iteration}"
+        return Prompt(
+            prompt_id=prompt_id,
+            text=" ".join(tokens),
+            tokens=tuple(tokens),
+            semantics=semantics,
+            topic_id=topic_id,
+            session_id=session_key,
+            user_id=user_id,
+        )
+
+    def make_session(
+        self,
+        topic_id: int,
+        session_key: str,
+        length: int,
+        user_id: str = "anon",
+    ) -> List[Prompt]:
+        """Build a full session of ``length`` iteratively refined prompts."""
+        if length < 1:
+            raise ValueError("session length must be >= 1")
+        base = self.session_semantics(topic_id, session_key)
+        return [
+            self.make_prompt(
+                topic_id,
+                session_key,
+                iteration,
+                user_id=user_id,
+                session_semantics=base,
+            )
+            for iteration in range(length)
+        ]
+
+
+def zipf_topic_sampler(
+    n_topics: int, exponent: float, rng: np.random.Generator
+):
+    """Return a callable sampling topic ids with Zipf-like popularity.
+
+    A handful of trending topics dominate production traffic; the exponent
+    controls how head-heavy the distribution is (1.0 ~ classic Zipf).
+    """
+    if n_topics < 1:
+        raise ValueError("n_topics must be >= 1")
+    ranks = np.arange(1, n_topics + 1, dtype=float)
+    weights = ranks ** (-exponent)
+    weights /= weights.sum()
+
+    def sample() -> int:
+        return int(rng.choice(n_topics, p=weights))
+
+    return sample

@@ -1,0 +1,117 @@
+"""Trace containers: a sequence of timestamped requests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.workloads.prompts import Prompt
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One request in a trace: a prompt arriving at a point in time."""
+
+    request_id: int
+    prompt: Prompt
+    arrival_s: float
+
+    def __post_init__(self) -> None:
+        if self.request_id < 0:
+            raise ValueError("request_id must be non-negative")
+        if self.arrival_s < 0:
+            raise ValueError("arrival_s must be non-negative")
+
+
+@dataclass
+class Trace:
+    """An ordered sequence of requests plus provenance metadata."""
+
+    name: str
+    requests: List[TraceRequest]
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        last = -1.0
+        for req in self.requests:
+            if req.arrival_s < last:
+                raise ValueError(
+                    "trace requests must be sorted by arrival time"
+                )
+            last = req.arrival_s
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[TraceRequest]:
+        return iter(self.requests)
+
+    def __getitem__(self, index: int) -> TraceRequest:
+        return self.requests[index]
+
+    @property
+    def duration_s(self) -> float:
+        """Time span from first to last arrival."""
+        if not self.requests:
+            return 0.0
+        return self.requests[-1].arrival_s - self.requests[0].arrival_s
+
+    @property
+    def mean_rate_per_min(self) -> float:
+        """Average arrival rate over the trace."""
+        if len(self.requests) < 2 or self.duration_s == 0.0:
+            return 0.0
+        return 60.0 * (len(self.requests) - 1) / self.duration_s
+
+    def prompts(self) -> List[Prompt]:
+        return [req.prompt for req in self.requests]
+
+    def slice(self, start: int, stop: Optional[int] = None) -> "Trace":
+        """Sub-trace over ``requests[start:stop]`` (metadata preserved)."""
+        return Trace(
+            name=self.name,
+            requests=self.requests[start:stop],
+            metadata=dict(self.metadata),
+        )
+
+    def rebase(self) -> "Trace":
+        """Shift arrivals so the first request lands at time zero.
+
+        Slicing a trace keeps original timestamps; rebasing removes the idle
+        head so serving runs start immediately.
+        """
+        if not self.requests:
+            return self
+        offset = self.requests[0].arrival_s
+        return self.with_arrivals(
+            [req.arrival_s - offset for req in self.requests]
+        )
+
+    def ignore_timestamps(self) -> "Trace":
+        """All requests arrive at time zero (max-throughput experiments §6)."""
+        return self.with_arrivals([0.0] * len(self.requests))
+
+    def with_arrivals(self, arrivals: Sequence[float]) -> "Trace":
+        """Re-time the trace with new arrival timestamps.
+
+        The paper assigns Poisson timestamps at different rates to the same
+        request sequence for the latency/SLO studies (§6); this produces
+        those re-timed variants.
+        """
+        if len(arrivals) != len(self.requests):
+            raise ValueError(
+                "need exactly one arrival per request "
+                f"({len(arrivals)} != {len(self.requests)})"
+            )
+        retimed = [
+            TraceRequest(
+                request_id=req.request_id,
+                prompt=req.prompt,
+                arrival_s=float(t),
+            )
+            for req, t in zip(self.requests, arrivals)
+        ]
+        retimed.sort(key=lambda r: r.arrival_s)
+        return Trace(
+            name=self.name, requests=retimed, metadata=dict(self.metadata)
+        )

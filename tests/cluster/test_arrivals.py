@@ -1,0 +1,101 @@
+"""Tests for arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.arrivals import (
+    RateSchedule,
+    poisson_arrivals,
+    schedule_arrivals,
+)
+
+
+class TestPoissonArrivals:
+    def test_count(self):
+        assert len(poisson_arrivals(10.0, 100)) == 100
+
+    def test_sorted(self):
+        arr = poisson_arrivals(10.0, 200)
+        assert np.all(np.diff(arr) >= 0)
+
+    def test_mean_rate_close_to_target(self):
+        arr = poisson_arrivals(12.0, 4000, seed="rate")
+        rate = 60.0 * len(arr) / arr[-1]
+        assert 11.0 < rate < 13.0
+
+    def test_deterministic_by_seed(self):
+        assert np.allclose(
+            poisson_arrivals(5.0, 50, seed="x"),
+            poisson_arrivals(5.0, 50, seed="x"),
+        )
+
+    def test_seed_changes_draw(self):
+        assert not np.allclose(
+            poisson_arrivals(5.0, 50, seed="x"),
+            poisson_arrivals(5.0, 50, seed="y"),
+        )
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0.0, 10)
+
+
+class TestRateSchedule:
+    def test_requires_segments(self):
+        with pytest.raises(ValueError):
+            RateSchedule(segments=())
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            RateSchedule(segments=((0.0, 5.0),))
+
+    def test_rate_at_boundaries(self):
+        sched = RateSchedule(segments=((60.0, 5.0), (60.0, 10.0)))
+        assert sched.rate_at(0.0) == 5.0
+        assert sched.rate_at(59.9) == 5.0
+        assert sched.rate_at(60.0) == 10.0
+
+    def test_rate_beyond_end_repeats_last(self):
+        sched = RateSchedule(segments=((60.0, 5.0),))
+        assert sched.rate_at(1e6) == 5.0
+
+    def test_ramp_covers_range(self):
+        sched = RateSchedule.ramp(6.0, 26.0, steps=6, step_duration_s=60.0)
+        assert sched.rate_at(0.0) == 6.0
+        assert sched.rate_at(sched.total_duration_s - 1) == 26.0
+        rates = [r for _, r in sched.segments]
+        assert all(b >= a for a, b in zip(rates, rates[1:]))
+
+    def test_fluctuating_preserves_rates(self):
+        rates = [6.0, 20.0, 8.0]
+        sched = RateSchedule.fluctuating(rates, 30.0)
+        assert [r for _, r in sched.segments] == rates
+
+    def test_expected_requests(self):
+        sched = RateSchedule(segments=((60.0, 10.0), (120.0, 5.0)))
+        assert np.isclose(sched.expected_requests(), 10.0 + 10.0)
+
+
+class TestScheduleArrivals:
+    def test_count_and_order(self):
+        sched = RateSchedule.ramp(5.0, 20.0, 4, 120.0)
+        arr = schedule_arrivals(sched, 60)
+        assert len(arr) == 60
+        assert np.all(np.diff(arr) >= 0)
+
+    def test_ramp_interarrivals_shrink(self):
+        sched = RateSchedule(segments=((600.0, 4.0), (600.0, 40.0)))
+        arr = schedule_arrivals(sched, 300, seed="ramp")
+        early = np.diff(arr[arr < 500])
+        late = np.diff(arr[(arr > 650) & (arr < 1150)])
+        assert np.mean(late) < np.mean(early)
+
+    def test_zero_rate_segment_skipped(self):
+        sched = RateSchedule(segments=((60.0, 0.0), (60.0, 30.0)))
+        arr = schedule_arrivals(sched, 10)
+        assert arr[0] >= 60.0
+
+    def test_trailing_zero_rate_raises(self):
+        sched = RateSchedule(segments=((60.0, 0.0),))
+        with pytest.raises(ValueError):
+            schedule_arrivals(sched, 5)

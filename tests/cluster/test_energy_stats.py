@@ -1,0 +1,125 @@
+"""Tests for energy metering and the sliding-window stats collector."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.energy import EnergyMeter, EnergyReport
+from repro.cluster.stats import StatsCollector
+from repro.cluster.worker import GPUWorker, Job
+from repro.diffusion.registry import get_gpu, get_model
+
+
+class TestEnergyMeter:
+    def _run_worker(self):
+        worker = GPUWorker(worker_id=0, gpu=get_gpu("A40"))
+        finish = worker.assign(
+            Job(request_id=0, model=get_model("sdxl"), steps=50), now=0.0
+        )
+        worker.complete(finish)
+        return worker, finish
+
+    def test_breakdown_sums(self):
+        worker, finish = self._run_worker()
+        report = EnergyMeter().measure([worker], makespan_s=finish + 100)
+        assert np.isclose(
+            report.total_joules,
+            report.busy_joules + report.load_joules + report.idle_joules,
+        )
+
+    def test_idle_energy_grows_with_makespan(self):
+        worker, finish = self._run_worker()
+        short = EnergyMeter().measure([worker], makespan_s=finish)
+        long = EnergyMeter().measure([worker], makespan_s=finish + 1000)
+        assert np.isclose(
+            long.idle_joules - short.idle_joules,
+            1000 * worker.gpu.idle_power_w,
+        )
+        assert long.busy_joules == short.busy_joules
+
+    def test_load_energy_at_idle_power(self):
+        worker, finish = self._run_worker()
+        report = EnergyMeter().measure([worker], makespan_s=finish)
+        spec = get_model("sdxl")
+        assert np.isclose(
+            report.load_joules,
+            spec.load_time_s * worker.gpu.idle_power_w,
+        )
+
+    def test_negative_makespan_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyMeter().measure([], makespan_s=-1.0)
+
+    def test_savings_vs(self):
+        base = EnergyReport(1000.0, 0.0, 0.0, 10.0, 1)
+        lower = EnergyReport(600.0, 0.0, 0.0, 10.0, 1)
+        assert np.isclose(lower.savings_vs(base), 0.4)
+
+    def test_savings_vs_zero_baseline(self):
+        base = EnergyReport(0.0, 0.0, 0.0, 10.0, 1)
+        other = EnergyReport(1.0, 0.0, 0.0, 10.0, 1)
+        with pytest.raises(ValueError):
+            other.savings_vs(base)
+
+    def test_kwh_conversion(self):
+        report = EnergyReport(3.6e6, 0.0, 0.0, 1.0, 1)
+        assert np.isclose(report.total_kwh, 1.0)
+
+
+class TestStatsCollector:
+    def test_rates_over_window(self):
+        stats = StatsCollector()
+        for i in range(30):
+            stats.record_decision(float(i), hit=(i % 3 == 0), k=10)
+        window = stats.window(now=29.0, window_s=30.0)
+        assert window.arrivals == 30
+        assert np.isclose(window.hit_rate, 10 / 30)
+        assert window.request_rate_per_min == pytest.approx(60.0)
+
+    def test_window_excludes_old_events(self):
+        stats = StatsCollector()
+        stats.record_decision(0.0, hit=True, k=5)
+        stats.record_decision(100.0, hit=False)
+        window = stats.window(now=100.0, window_s=50.0)
+        assert window.arrivals == 1
+        assert window.hits == 0
+
+    def test_k_rates_sum_to_one(self):
+        stats = StatsCollector()
+        for i, k in enumerate([5, 5, 10, 30]):
+            stats.record_decision(float(i), hit=True, k=k)
+        window = stats.window(now=10.0, window_s=60.0)
+        assert np.isclose(sum(window.k_rates.values()), 1.0)
+        assert window.k_rates[5] == 0.5
+
+    def test_empty_window(self):
+        stats = StatsCollector()
+        window = stats.window(now=0.0, window_s=10.0)
+        assert window.hit_rate == 0.0
+        assert window.request_rate_per_min == 0.0
+        assert window.k_rates == {}
+
+    def test_overall_counters(self):
+        stats = StatsCollector()
+        stats.record_decision(0.0, hit=True, k=15)
+        stats.record_decision(1.0, hit=False)
+        stats.record_decision(2.0, hit=True, k=15)
+        assert stats.total_arrivals == 3
+        assert np.isclose(stats.overall_hit_rate, 2 / 3)
+        assert stats.overall_k_rates() == {15: 1.0}
+
+    def test_trim_respects_max_window(self):
+        stats = StatsCollector(max_window_s=100.0)
+        stats.record_decision(0.0, hit=True, k=5)
+        stats.record_decision(500.0, hit=False)
+        # The old event is gone from the deque but kept in totals.
+        assert stats.total_arrivals == 2
+        window = stats.window(now=500.0, window_s=100.0)
+        assert window.arrivals == 1
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            StatsCollector().window(now=0.0, window_s=0.0)
+
+    def test_invalid_max_window(self):
+        with pytest.raises(ValueError):
+            StatsCollector(max_window_s=0.0)

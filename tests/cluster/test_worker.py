@@ -1,0 +1,127 @@
+"""Tests for GPU workers and job accounting."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.worker import GPUWorker, Job
+from repro.diffusion.registry import get_gpu, get_model
+
+
+@pytest.fixture
+def worker():
+    return GPUWorker(worker_id=0, gpu=get_gpu("MI210"))
+
+
+def _job(model="sd3.5-large", steps=50, **kw):
+    return Job(request_id=1, model=get_model(model), steps=steps, **kw)
+
+
+class TestJob:
+    def test_rejects_negative_steps(self):
+        with pytest.raises(ValueError):
+            _job(steps=-1)
+
+    def test_rejects_negative_extra(self):
+        with pytest.raises(ValueError):
+            _job(extra_seconds=-0.5)
+
+
+class TestAssignment:
+    def test_first_job_pays_load_time(self, worker):
+        spec = get_model("sd3.5-large")
+        finish = worker.assign(_job(), now=0.0)
+        expected = spec.load_time_s + spec.service_time_s("MI210", 50)
+        assert np.isclose(finish, expected)
+        assert worker.switches == 1
+
+    def test_second_job_same_model_no_load(self, worker):
+        spec = get_model("sd3.5-large")
+        finish1 = worker.assign(_job(), now=0.0)
+        worker.complete(finish1)
+        finish2 = worker.assign(_job(), now=finish1)
+        assert np.isclose(
+            finish2 - finish1, spec.service_time_s("MI210", 50)
+        )
+        assert worker.switches == 1
+
+    def test_model_switch_pays_load(self, worker):
+        finish1 = worker.assign(_job(), now=0.0)
+        worker.complete(finish1)
+        sdxl = get_model("sdxl")
+        finish2 = worker.assign(_job("sdxl", steps=20), now=finish1)
+        expected = sdxl.load_time_s + sdxl.service_time_s("MI210", 20)
+        assert np.isclose(finish2 - finish1, expected)
+        assert worker.switches == 2
+
+    def test_busy_worker_rejects_assignment(self, worker):
+        worker.assign(_job(), now=0.0)
+        with pytest.raises(RuntimeError):
+            worker.assign(_job(), now=0.0)
+
+    def test_cannot_assign_before_available(self, worker):
+        finish = worker.assign(_job(), now=0.0)
+        worker.complete(finish)
+        with pytest.raises(RuntimeError):
+            worker.assign(_job(), now=finish - 1.0)
+
+    def test_extra_seconds_extend_service(self, worker):
+        base = GPUWorker(worker_id=1, gpu=get_gpu("MI210"))
+        f_plain = base.assign(_job(), now=0.0)
+        f_extra = worker.assign(_job(extra_seconds=3.0), now=0.0)
+        assert np.isclose(f_extra - f_plain, 3.0)
+
+
+class TestAccounting:
+    def test_energy_accumulates(self, worker):
+        spec = get_model("sd3.5-large")
+        finish = worker.assign(_job(), now=0.0)
+        worker.complete(finish)
+        load_j = spec.load_time_s * worker.gpu.idle_power_w
+        busy_j = spec.service_time_s("MI210", 50) * spec.power_w["MI210"]
+        assert np.isclose(worker.energy_joules, load_j + busy_j)
+
+    def test_busy_and_load_seconds_split(self, worker):
+        spec = get_model("sd3.5-large")
+        finish = worker.assign(_job(), now=0.0)
+        worker.complete(finish)
+        assert np.isclose(worker.load_seconds, spec.load_time_s)
+        assert np.isclose(
+            worker.busy_seconds, spec.service_time_s("MI210", 50)
+        )
+
+    def test_complete_returns_job(self, worker):
+        job = _job()
+        finish = worker.assign(job, now=0.0)
+        assert worker.complete(finish) is job
+        assert worker.jobs_completed == 1
+
+    def test_complete_without_job_raises(self, worker):
+        with pytest.raises(RuntimeError):
+            worker.complete(1.0)
+
+    def test_complete_too_early_raises(self, worker):
+        finish = worker.assign(_job(), now=0.0)
+        with pytest.raises(RuntimeError):
+            worker.complete(finish / 2)
+
+
+class TestIdleAndSwitching:
+    def test_idle_states(self, worker):
+        assert worker.is_idle(0.0)
+        finish = worker.assign(_job(), now=0.0)
+        assert not worker.is_idle(finish - 1)
+        worker.complete(finish)
+        assert worker.is_idle(finish)
+
+    def test_wants_switch(self, worker):
+        finish = worker.assign(_job(), now=0.0)
+        worker.complete(finish)
+        assert not worker.wants_switch()
+        worker.target_model = "sdxl"
+        assert worker.wants_switch()
+        assert worker.effective_model() == "sdxl"
+
+    def test_effective_model_defaults_to_resident(self, worker):
+        finish = worker.assign(_job(), now=0.0)
+        worker.complete(finish)
+        assert worker.effective_model() == "sd3.5-large"

@@ -1,0 +1,75 @@
+"""Shared fixtures.
+
+Session-scoped where construction is expensive (traces, warmed caches) and
+the object is read-only for tests; function-scoped otherwise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ClusterConfig
+from repro.diffusion.model import DiffusionModelSim
+from repro.diffusion.registry import get_model
+from repro.embedding.space import SemanticSpace
+from repro.embedding.vocab import Vocabulary
+from repro.workloads import (
+    DiffusionDBConfig,
+    MJHQConfig,
+    diffusiondb_trace,
+    mjhq_trace,
+)
+
+
+@pytest.fixture(scope="session")
+def space() -> SemanticSpace:
+    return SemanticSpace()
+
+
+@pytest.fixture(scope="session")
+def vocab(space) -> Vocabulary:
+    return Vocabulary(dim=space.config.semantic_dim)
+
+
+@pytest.fixture(scope="session")
+def ddb_trace(space):
+    """Small DiffusionDB-like trace shared across read-only tests."""
+    return diffusiondb_trace(
+        space,
+        DiffusionDBConfig(n_requests=600, seed="tests-ddb"),
+    )
+
+
+@pytest.fixture(scope="session")
+def mjhq_small(space):
+    return mjhq_trace(
+        space, MJHQConfig(n_prompts=400, seed="tests-mjhq")
+    )
+
+
+@pytest.fixture(scope="session")
+def prompts(ddb_trace):
+    return [r.prompt for r in ddb_trace]
+
+
+@pytest.fixture(scope="session")
+def large_model(space) -> DiffusionModelSim:
+    return DiffusionModelSim(get_model("sd3.5-large"), space)
+
+
+@pytest.fixture(scope="session")
+def small_model(space) -> DiffusionModelSim:
+    return DiffusionModelSim(get_model("sdxl"), space)
+
+
+@pytest.fixture(scope="session")
+def sample_images(large_model, prompts):
+    """A pool of large-model images for cache/metric tests."""
+    return [
+        large_model.generate(p, seed="fixture").image for p in prompts[:100]
+    ]
+
+
+@pytest.fixture
+def tiny_cluster() -> ClusterConfig:
+    return ClusterConfig(gpu_name="MI210", n_workers=4)

@@ -1,0 +1,186 @@
+"""Tests for the baseline serving systems."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    NirvanaSystem,
+    PineconeSystem,
+    VanillaSystem,
+)
+from repro.core.config import ClusterConfig
+
+
+@pytest.fixture
+def cluster():
+    return ClusterConfig(gpu_name="MI210", n_workers=4)
+
+
+@pytest.fixture
+def small_trace(ddb_trace):
+    return ddb_trace.slice(100, 200).rebase()
+
+
+@pytest.fixture
+def warm_prompts(ddb_trace):
+    return [r.prompt for r in ddb_trace.requests[:100]]
+
+
+class TestVanilla:
+    def test_completes_all(self, space, cluster, small_trace):
+        report = VanillaSystem(space, cluster).run(small_trace)
+        assert report.n_completed == len(small_trace)
+
+    def test_every_request_full_generation(
+        self, space, cluster, small_trace
+    ):
+        report = VanillaSystem(space, cluster).run(small_trace)
+        for record in report.completed():
+            assert record.steps_run == 50
+            assert record.model_name == "sd3.5-large"
+            assert not record.is_hit
+
+    def test_hit_rate_zero(self, space, cluster, small_trace):
+        report = VanillaSystem(space, cluster).run(small_trace)
+        assert report.hit_rate == 0.0
+
+    def test_configurable_model(self, space, cluster, small_trace):
+        report = VanillaSystem(space, cluster, model="sana-1.6b").run(
+            small_trace
+        )
+        assert all(
+            r.model_name == "sana-1.6b" for r in report.completed()
+        )
+        assert report.system == "vanilla-sana-1.6b"
+
+    def test_small_model_faster(self, space, cluster, small_trace):
+        flat = small_trace.ignore_timestamps()
+        big = VanillaSystem(space, cluster).run(flat)
+        small = VanillaSystem(space, cluster, model="sana-1.6b").run(flat)
+        assert small.throughput_rpm > 2 * big.throughput_rpm
+
+    def test_turbo_runs_ten_steps(self, space, cluster, small_trace):
+        report = VanillaSystem(
+            space, cluster, model="sd3.5-large-turbo"
+        ).run(small_trace)
+        assert all(r.steps_run == 10 for r in report.completed())
+
+
+class TestNirvana:
+    def test_warm_cache_generates_hits(
+        self, space, cluster, small_trace, warm_prompts
+    ):
+        system = NirvanaSystem(space, cluster, cache_capacity=500)
+        system.warm_cache(warm_prompts)
+        report = system.run(small_trace)
+        assert report.hit_rate > 0.3
+
+    def test_hits_skip_steps_on_large_model(
+        self, space, cluster, small_trace, warm_prompts
+    ):
+        system = NirvanaSystem(space, cluster, cache_capacity=500)
+        system.warm_cache(warm_prompts)
+        report = system.run(small_trace)
+        for record in report.completed():
+            assert record.model_name == "sd3.5-large"
+            if record.is_hit:
+                assert record.steps_run < 50
+
+    def test_latent_fetch_slows_hits(
+        self, space, cluster, small_trace, warm_prompts
+    ):
+        flat = small_trace.ignore_timestamps()
+        fast = NirvanaSystem(
+            space, cluster, cache_capacity=500, latent_fetch_s=0.0
+        )
+        fast.warm_cache(warm_prompts)
+        slow = NirvanaSystem(
+            space, cluster, cache_capacity=500, latent_fetch_s=10.0
+        )
+        slow.warm_cache(warm_prompts)
+        assert (
+            slow.run(flat).throughput_rpm < fast.run(flat).throughput_rpm
+        )
+
+    def test_cache_stores_latent_sizes(
+        self, space, cluster, warm_prompts
+    ):
+        system = NirvanaSystem(space, cluster, cache_capacity=500)
+        system.warm_cache(warm_prompts[:10])
+        assert system.cache.storage_bytes() == 10 * 2_500_000
+
+    def test_negative_fetch_rejected(self, space, cluster):
+        with pytest.raises(ValueError):
+            NirvanaSystem(space, cluster, latent_fetch_s=-1.0)
+
+    def test_modest_speedup_over_vanilla(
+        self, space, cluster, ddb_trace, warm_prompts
+    ):
+        """Fig. 7's shape: Nirvana ~1.1-1.4x, well below MoDM."""
+        flat = ddb_trace.slice(100, 300).ignore_timestamps()
+        vanilla = VanillaSystem(space, cluster).run(flat)
+        system = NirvanaSystem(space, cluster, cache_capacity=500)
+        system.warm_cache(warm_prompts)
+        nirvana = system.run(flat)
+        ratio = nirvana.throughput_rpm / vanilla.throughput_rpm
+        assert 1.0 < ratio < 1.6
+
+
+class TestPinecone:
+    def test_served_from_cache_instantly(
+        self, space, cluster, small_trace, warm_prompts
+    ):
+        system = PineconeSystem(space, cluster, cache_capacity=500)
+        system.warm_cache(warm_prompts)
+        report = system.run(small_trace)
+        served = [
+            r
+            for r in report.completed()
+            if r.decision.served_from_cache
+        ]
+        assert served, "expected some retrieval-only serves"
+        for record in served:
+            assert record.latency_s < 1.0
+            assert record.model_name == "cache"
+            assert record.steps_run == 0
+
+    def test_misses_fully_generated(
+        self, space, cluster, small_trace, warm_prompts
+    ):
+        system = PineconeSystem(space, cluster, cache_capacity=500)
+        system.warm_cache(warm_prompts)
+        report = system.run(small_trace)
+        for record in report.completed():
+            if not record.is_hit:
+                assert record.steps_run == 50
+
+    def test_served_image_is_cached_original(
+        self, space, cluster, small_trace, warm_prompts
+    ):
+        system = PineconeSystem(space, cluster, cache_capacity=500)
+        system.warm_cache(warm_prompts)
+        report = system.run(small_trace)
+        for record in report.completed():
+            if record.decision.served_from_cache:
+                # No refinement: the image was generated for another prompt.
+                assert record.image.prompt_id != record.prompt.prompt_id
+
+    def test_threshold_bounds(self, space, cluster):
+        with pytest.raises(ValueError):
+            PineconeSystem(space, cluster, serve_threshold=1.5)
+
+    def test_higher_threshold_fewer_hits(
+        self, space, cluster, small_trace, warm_prompts
+    ):
+        strict = PineconeSystem(
+            space, cluster, cache_capacity=500, serve_threshold=0.97
+        )
+        strict.warm_cache(warm_prompts)
+        loose = PineconeSystem(
+            space, cluster, cache_capacity=500, serve_threshold=0.75
+        )
+        loose.warm_cache(warm_prompts)
+        assert (
+            strict.run(small_trace).hit_rate
+            <= loose.run(small_trace).hit_rate
+        )

@@ -1,0 +1,86 @@
+"""Tests for ServingReport metrics over synthetic records."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.energy import EnergyReport
+from repro.cluster.stats import StatsCollector
+from repro.core.request import Decision, RequestRecord
+from repro.core.serving import AllocationEvent, ServingReport
+
+
+def _record(prompts, i, arrival, completion, hit=False, image=None):
+    record = RequestRecord(
+        request_id=i, prompt=prompts[i], arrival_s=arrival
+    )
+    record.decision = Decision(hit=False)
+    record.enqueued_s = arrival
+    record.service_start_s = arrival
+    if completion is not None:
+        record.completion_s = completion
+        record.image = image
+    return record
+
+
+@pytest.fixture
+def report(prompts):
+    records = [
+        _record(prompts, 0, 0.0, 60.0),
+        _record(prompts, 1, 10.0, 100.0),
+        _record(prompts, 2, 20.0, None),  # still in flight
+    ]
+    stats = StatsCollector()
+    stats.record_decision(0.0, hit=True, k=10)
+    stats.record_decision(10.0, hit=False)
+    stats.record_decision(20.0, hit=False)
+    return ServingReport(
+        system="test",
+        trace_name="trace",
+        records=records,
+        energy=EnergyReport(100.0, 10.0, 5.0, 100.0, 2),
+        workers=[],
+        stats=stats,
+        allocations=[AllocationEvent(60.0, 3, 1, "sdxl")],
+    )
+
+class TestServingReport:
+    def test_completed_excludes_inflight(self, report):
+        assert report.n_completed == 2
+
+    def test_latencies(self, report):
+        assert np.allclose(sorted(report.latencies()), [60.0, 90.0])
+
+    def test_makespan_and_span(self, report):
+        assert report.makespan_s == 100.0
+        # Span measured from the first arrival (t=0).
+        assert report.serving_span_s == 100.0
+
+    def test_throughput(self, report):
+        assert np.isclose(report.throughput_rpm, 2 * 60.0 / 100.0)
+
+    def test_hit_rate_from_stats(self, report):
+        assert np.isclose(report.hit_rate, 1 / 3)
+
+    def test_k_rates(self, report):
+        assert report.k_rates() == {10: 1.0}
+
+    def test_images_skips_missing(self, report):
+        assert report.images() == []
+
+    def test_empty_report_metrics(self, prompts):
+        empty = ServingReport(
+            system="t",
+            trace_name="t",
+            records=[],
+            energy=EnergyReport(0, 0, 0, 0, 0),
+            workers=[],
+            stats=StatsCollector(),
+        )
+        assert empty.throughput_rpm == 0.0
+        assert empty.makespan_s == 0.0
+        assert empty.latencies().size == 0
+
+    def test_allocation_event_fields(self, report):
+        event = report.allocations[0]
+        assert event.n_large + event.n_small == 4
+        assert event.small_model == "sdxl"

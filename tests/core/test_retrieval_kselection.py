@@ -1,0 +1,211 @@
+"""Tests for retrieval policies and k-selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.kselection import (
+    DEFAULT_K_SET,
+    MODM_DEFAULT_THRESHOLDS,
+    NIRVANA_DEFAULT_THRESHOLDS,
+    KSelector,
+    derive_thresholds,
+    modm_default_selector,
+    nirvana_default_selector,
+    scale_k_steps,
+)
+from repro.core.retrieval import TextToImageRetrieval, TextToTextRetrieval
+from repro.embedding.space import cosine
+
+
+class TestRetrievalPolicies:
+    def test_t2i_index_uses_image_content(
+        self, space, large_model, prompts
+    ):
+        policy = TextToImageRetrieval(space)
+        img_a = large_model.generate(prompts[0], seed="r").image
+        img_b = large_model.generate(prompts[50], seed="r").image
+        # Same prompt, different images -> different index embeddings.
+        emb_a = policy.index_embedding(prompts[0], img_a)
+        emb_b = policy.index_embedding(prompts[0], img_b)
+        assert not np.allclose(emb_a, emb_b)
+
+    def test_t2t_index_ignores_image(self, space, large_model, prompts):
+        policy = TextToTextRetrieval(space)
+        img_a = large_model.generate(prompts[0], seed="r").image
+        img_b = large_model.generate(prompts[50], seed="r").image
+        emb_a = policy.index_embedding(prompts[0], img_a)
+        emb_b = policy.index_embedding(prompts[0], img_b)
+        assert np.allclose(emb_a, emb_b)
+
+    def test_t2t_scale_matches_nirvana_regime(self, space, ddb_trace):
+        """Unrelated ~0, same-session ~0.85+ on the semantic text scale."""
+        policy = TextToTextRetrieval(space)
+        by_session = {}
+        for r in ddb_trace:
+            by_session.setdefault(r.prompt.session_id, []).append(r.prompt)
+        sessions = [p for p in by_session.values() if len(p) >= 2]
+        same = cosine(
+            policy.query_embedding(sessions[0][0]),
+            policy.query_embedding(sessions[0][1]),
+        )
+        cross = cosine(
+            policy.query_embedding(sessions[0][0]),
+            policy.query_embedding(sessions[7][0]),
+        )
+        assert same > 0.75
+        assert cross < same
+
+    def test_t2i_query_in_clip_band(
+        self, space, large_model, ddb_trace
+    ):
+        policy = TextToImageRetrieval(space)
+        by_session = {}
+        for r in ddb_trace:
+            by_session.setdefault(r.prompt.session_id, []).append(r.prompt)
+        sessions = [p for p in by_session.values() if len(p) >= 2]
+        sims = []
+        for s in sessions[:30]:
+            img = large_model.generate(s[0], seed="r").image
+            sims.append(
+                cosine(
+                    policy.query_embedding(s[1]),
+                    policy.index_embedding(s[0], img),
+                )
+            )
+        assert 0.2 < np.mean(sims) < 0.32
+
+    def test_embed_dims_match_space(self, space):
+        assert TextToImageRetrieval(space).embed_dim == space.config.embed_dim
+        assert TextToTextRetrieval(space).embed_dim == space.config.embed_dim
+
+
+class TestKSelector:
+    def test_miss_below_hit_threshold(self):
+        sel = modm_default_selector()
+        assert sel.decide(sel.hit_threshold - 0.001) is None
+
+    def test_hit_at_threshold_picks_largest_admissible_k(self):
+        sel = modm_default_selector()
+        decided = sel.decide(sel.hit_threshold)
+        admissible = [
+            k
+            for k in sel.k_set
+            if sel.thresholds[k] <= sel.hit_threshold
+        ]
+        assert decided == max(admissible)
+
+    def test_largest_k_for_high_similarity(self):
+        sel = modm_default_selector()
+        assert sel.decide(0.99) == max(sel.k_set)
+
+    def test_monotone_in_similarity(self):
+        sel = modm_default_selector()
+        sims = np.linspace(0.0, 0.5, 100)
+        ks = [sel.decide(s) or 0 for s in sims]
+        assert all(b >= a for a, b in zip(ks, ks[1:]))
+
+    def test_default_thresholds_monotone(self):
+        for table in (MODM_DEFAULT_THRESHOLDS, NIRVANA_DEFAULT_THRESHOLDS):
+            taus = [table[k] for k in sorted(table)]
+            assert all(b >= a for a, b in zip(taus, taus[1:]))
+
+    def test_modm_band_near_paper(self):
+        """Calibrated thresholds live in the paper's 0.24-0.30 band."""
+        sel = modm_default_selector()
+        assert 0.20 < sel.hit_threshold < 0.27
+        assert 0.25 < sel.thresholds[30] < 0.31
+
+    def test_nirvana_band(self):
+        """Conservative text-to-text regime (paper: 0.65-0.95)."""
+        sel = nirvana_default_selector()
+        assert 0.65 <= sel.hit_threshold <= 0.9
+        assert sel.thresholds[30] >= 0.95
+
+    def test_rejects_decreasing_thresholds(self):
+        with pytest.raises(ValueError):
+            KSelector(thresholds={5: 0.3, 10: 0.2})
+
+    def test_rejects_invalid_k(self):
+        with pytest.raises(ValueError):
+            KSelector(thresholds={0: 0.3})
+
+    def test_rejects_out_of_range_threshold(self):
+        with pytest.raises(ValueError):
+            KSelector(thresholds={5: 1.2})
+
+    def test_shifted(self):
+        sel = modm_default_selector()
+        shifted = sel.shifted(0.01)
+        for k in sel.k_set:
+            assert np.isclose(
+                shifted.thresholds[k], sel.thresholds[k] + 0.01
+            )
+
+
+class TestScaleKSteps:
+    def test_reference_scale_identity(self):
+        assert scale_k_steps(30, 50) == 30
+
+    def test_turbo_scaling(self):
+        # T=10: k in {5..30} maps to {1..6}.
+        assert scale_k_steps(5, 10) == 1
+        assert scale_k_steps(30, 10) == 6
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            scale_k_steps(51, 50)
+        with pytest.raises(ValueError):
+            scale_k_steps(10, 0)
+
+
+class TestDeriveThresholds:
+    def _synthetic_samples(self, slope=2.0, offsets=None):
+        """Factor curves: factor = 1 + slope*(sim - crossing_k)."""
+        offsets = offsets or {
+            k: 0.24 + 0.001 * k for k in DEFAULT_K_SET
+        }
+        rng = np.random.default_rng(0)
+        samples = []
+        for _ in range(600):
+            sim = float(rng.uniform(0.20, 0.32))
+            factors = {
+                k: 0.95 + slope * (sim - offsets[k])
+                for k in DEFAULT_K_SET
+            }
+            samples.append((sim, factors))
+        return samples, offsets
+
+    def test_recovers_crossings(self):
+        samples, offsets = self._synthetic_samples()
+        thresholds = derive_thresholds(samples, alpha=0.95, window=40)
+        for k in DEFAULT_K_SET:
+            assert abs(thresholds[k] - offsets[k]) < 0.02
+
+    def test_unreachable_k_omitted(self):
+        samples, _ = self._synthetic_samples(
+            offsets={k: (0.5 if k == 30 else 0.24) for k in DEFAULT_K_SET}
+        )
+        thresholds = derive_thresholds(
+            samples, alpha=0.95, window=40, enforce_monotone=False
+        )
+        assert 30 not in thresholds
+        assert 5 in thresholds
+
+    def test_monotone_enforcement(self):
+        samples, _ = self._synthetic_samples(
+            offsets={
+                5: 0.28, 10: 0.24, 15: 0.25, 20: 0.26, 25: 0.27, 30: 0.29
+            }
+        )
+        thresholds = derive_thresholds(samples, alpha=0.95, window=40)
+        taus = [thresholds[k] for k in sorted(thresholds)]
+        assert all(b >= a - 1e-9 for a, b in zip(taus, taus[1:]))
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            derive_thresholds([])
+
+    def test_invalid_alpha(self):
+        samples, _ = self._synthetic_samples()
+        with pytest.raises(ValueError):
+            derive_thresholds(samples, alpha=0.0)

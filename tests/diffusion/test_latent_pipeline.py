@@ -1,0 +1,95 @@
+"""Tests for image/latent containers and the pipeline wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.latent import (
+    FINAL_IMAGE_BYTES,
+    LATENT_STACK_BYTES,
+    CachedLatent,
+    LatentState,
+    SyntheticImage,
+)
+from repro.diffusion.pipeline import Image2ImagePipeline, Text2ImagePipeline
+from repro.diffusion.registry import get_model
+
+
+class TestContainers:
+    def test_storage_sizes_match_paper(self):
+        # §3.1: ~1.4 MB final image vs ~2.5 MB latent stack.
+        assert FINAL_IMAGE_BYTES == 1_400_000
+        assert LATENT_STACK_BYTES == 2_500_000
+        assert LATENT_STACK_BYTES > FINAL_IMAGE_BYTES
+
+    def test_latent_state_rejects_negative_step(self):
+        with pytest.raises(ValueError):
+            LatentState(x=np.zeros(4), step=-1)
+
+    def test_image_rejects_negative_steps(self):
+        with pytest.raises(ValueError):
+            SyntheticImage(
+                image_id="i",
+                prompt_id="p",
+                model_name="m",
+                content=np.zeros(4),
+                steps_run=-1,
+            )
+
+    def test_image_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            SyntheticImage(
+                image_id="i",
+                prompt_id="p",
+                model_name="m",
+                content=np.zeros(4),
+                size_bytes=0,
+            )
+
+    def test_is_refinement_flag(self):
+        img = SyntheticImage(
+            image_id="i",
+            prompt_id="p",
+            model_name="m",
+            content=np.zeros(4),
+            source_image_id="src",
+        )
+        assert img.is_refinement
+
+    def test_latent_usable_by_producing_model_only(self):
+        latent = CachedLatent(
+            latent_id="l",
+            prompt_id="p",
+            model_name="sd3.5-large",
+            content=np.zeros(4),
+        )
+        assert latent.usable_by("sd3.5-large")
+        assert not latent.usable_by("sdxl")
+
+
+class TestPipelines:
+    def test_text2image_costs(self, large_model, prompts):
+        pipe = Text2ImagePipeline(large_model, "MI210")
+        out = pipe(prompts[0], seed="pipe")
+        spec = get_model("SD3.5L")
+        assert out.steps_run == 50
+        assert np.isclose(
+            out.gpu_seconds, spec.service_time_s("MI210", 50)
+        )
+        assert np.isclose(
+            out.energy_joules, spec.energy_joules("MI210", 50)
+        )
+
+    def test_img2img_costs_scale_with_skip(
+        self, large_model, small_model, prompts
+    ):
+        src = large_model.generate(prompts[0], seed="pipe").image
+        pipe = Image2ImagePipeline(small_model, "A40")
+        lo = pipe(prompts[1], src, skipped_steps=5, seed="pipe")
+        hi = pipe(prompts[1], src, skipped_steps=30, seed="pipe")
+        assert hi.gpu_seconds < lo.gpu_seconds
+        assert hi.steps_run == 20 and lo.steps_run == 45
+
+    def test_pipeline_exposes_model_and_gpu(self, large_model):
+        pipe = Text2ImagePipeline(large_model, "A40")
+        assert pipe.model is large_model
+        assert pipe.gpu_name == "A40"

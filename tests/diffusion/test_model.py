@@ -1,0 +1,173 @@
+"""Tests for the de-noising simulator's generation dynamics."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.diffusion.model import DiffusionModelSim
+from repro.diffusion.registry import MODEL_ZOO, get_model
+from repro.embedding.space import cosine
+from repro.embedding.text_encoder import prompt_mixture
+
+
+class TestGenerate:
+    def test_content_unit_norm(self, large_model, prompts):
+        image = large_model.generate(prompts[0], seed="t").image
+        assert np.isclose(np.linalg.norm(image.content), 1.0)
+
+    def test_metadata(self, large_model, prompts):
+        result = large_model.generate(prompts[0], seed="t", created_at=5.0)
+        assert result.steps_run == 50
+        assert result.skipped_steps == 0
+        assert result.image.prompt_id == prompts[0].prompt_id
+        assert result.image.model_name == "sd3.5-large"
+        assert result.image.created_at == 5.0
+        assert not result.image.is_refinement
+
+    def test_unique_image_ids(self, large_model, prompts):
+        a = large_model.generate(prompts[0], seed="t").image
+        b = large_model.generate(prompts[0], seed="t").image
+        assert a.image_id != b.image_id
+
+    def test_aligned_with_prompt_mixture(self, space, large_model, prompts):
+        image = large_model.generate(prompts[0], seed="t").image
+        mix = prompt_mixture(space, prompts[0])
+        assert cosine(image.content, mix) > 0.6
+
+    def test_seed_changes_content(self, large_model, prompts):
+        a = large_model.generate(prompts[0], seed="seed-a").image
+        b = large_model.generate(prompts[0], seed="seed-b").image
+        assert not np.allclose(a.content, b.content)
+
+    def test_large_more_aligned_than_turbo(self, space, prompts):
+        large = DiffusionModelSim(get_model("SD3.5L"), space)
+        turbo = DiffusionModelSim(get_model("SD3.5L-Turbo"), space)
+        diffs = []
+        for p in prompts[:40]:
+            mix = prompt_mixture(space, p)
+            a = cosine(large.generate(p, seed="cmp").image.content, mix)
+            b = cosine(turbo.generate(p, seed="cmp").image.content, mix)
+            diffs.append(a - b)
+        assert np.mean(diffs) > 0.0
+
+
+class TestRefine:
+    def test_skip_bounds(self, small_model, large_model, prompts):
+        src = large_model.generate(prompts[0], seed="t").image
+        with pytest.raises(ValueError):
+            small_model.refine(prompts[1], src, 51)
+        with pytest.raises(ValueError):
+            small_model.refine(prompts[1], src, -1)
+
+    def test_steps_accounting(self, small_model, large_model, prompts):
+        src = large_model.generate(prompts[0], seed="t").image
+        result = small_model.refine(prompts[1], src, 30, seed="t")
+        assert result.steps_run == 20
+        assert result.skipped_steps == 30
+        assert result.total_steps_equivalent == 50
+        assert result.image.is_refinement
+        assert result.image.source_image_id == src.image_id
+
+    def test_higher_k_retains_more_source(
+        self, small_model, large_model, prompts
+    ):
+        src = large_model.generate(prompts[0], seed="t").image
+        lo = small_model.refine(prompts[1], src, 5, seed="t").image
+        hi = small_model.refine(prompts[1], src, 30, seed="t").image
+        assert cosine(hi.content, src.content) > cosine(
+            lo.content, src.content
+        )
+
+    def test_refinement_moves_toward_new_prompt(
+        self, space, small_model, large_model, prompts
+    ):
+        src = large_model.generate(prompts[0], seed="t").image
+        refined = small_model.refine(prompts[60], src, 10, seed="t").image
+        mix_new = prompt_mixture(space, prompts[60])
+        assert cosine(refined.content, mix_new) > cosine(
+            src.content, mix_new
+        )
+
+    def test_similar_source_refines_better(
+        self, space, small_model, large_model, ddb_trace
+    ):
+        """Fig. 5a's slope: better retrieval -> better refined quality."""
+        by_session = {}
+        for r in ddb_trace:
+            by_session.setdefault(r.prompt.session_id, []).append(r.prompt)
+        sessions = [p for p in by_session.values() if len(p) >= 2]
+        goods, bads = [], []
+        for i in range(min(25, len(sessions) - 1)):
+            target = sessions[i][1]
+            mix = prompt_mixture(DiffusionModelSim(
+                get_model("SDXL"), small_model.space).space, target)
+            similar_src = large_model.generate(
+                sessions[i][0], seed="t"
+            ).image
+            unrelated_src = large_model.generate(
+                sessions[i + 1][0], seed="t"
+            ).image
+            goods.append(cosine(
+                small_model.refine(target, similar_src, 25, seed="t")
+                .image.content, mix))
+            bads.append(cosine(
+                small_model.refine(target, unrelated_src, 25, seed="t")
+                .image.content, mix))
+        assert np.mean(goods) > np.mean(bads)
+
+    def test_turbo_scales_skip(self, space, large_model, prompts):
+        turbo = DiffusionModelSim(get_model("SD3.5L-Turbo"), space)
+        src = large_model.generate(prompts[0], seed="t").image
+        skipped = turbo.schedule.scaled_skip(30 / 50)
+        assert skipped == 6
+        result = turbo.refine(prompts[1], src, skipped, seed="t")
+        assert result.steps_run == 4
+
+
+class TestRefinementTarget:
+    def test_discount_reduces_alignment(self, space, prompts):
+        small = DiffusionModelSim(get_model("SDXL"), space)
+        mix = prompt_mixture(space, prompts[0])
+        full = small.target_content(prompts[0], "t")
+        refined = small.refinement_target(
+            prompts[0], "t", structure_retention=0.6
+        )
+        assert cosine(refined, mix) < cosine(full, mix)
+
+    def test_discount_grows_with_retention(self, space, prompts):
+        small = DiffusionModelSim(get_model("SDXL"), space)
+        mix = prompt_mixture(space, prompts[0])
+        light = small.refinement_target(
+            prompts[0], "t", structure_retention=0.1
+        )
+        heavy = small.refinement_target(
+            prompts[0], "t", structure_retention=0.9
+        )
+        assert cosine(heavy, mix) < cosine(light, mix)
+
+    def test_retention_bounds(self, space, prompts):
+        small = DiffusionModelSim(get_model("SDXL"), space)
+        with pytest.raises(ValueError):
+            small.refinement_target(
+                prompts[0], "t", structure_retention=1.5
+            )
+
+
+class TestSpecDigestDisambiguation:
+    def test_different_specs_different_image_ids(self, space, prompts):
+        a = DiffusionModelSim(MODEL_ZOO["sdxl"], space)
+        b = DiffusionModelSim(
+            dataclasses.replace(MODEL_ZOO["sdxl"], skip_penalty=0.5), space
+        )
+        img_a = a.generate(prompts[0], seed="t").image
+        img_b = b.generate(prompts[0], seed="t").image
+        assert img_a.image_id != img_b.image_id
+
+    def test_same_spec_same_sequence_same_content(self, space, prompts):
+        a = DiffusionModelSim(MODEL_ZOO["sdxl"], space)
+        b = DiffusionModelSim(MODEL_ZOO["sdxl"], space)
+        img_a = a.generate(prompts[0], seed="t").image
+        img_b = b.generate(prompts[0], seed="t").image
+        assert img_a.image_id == img_b.image_id
+        assert np.allclose(img_a.content, img_b.content)

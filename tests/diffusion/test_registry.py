@@ -1,0 +1,165 @@
+"""Tests for the model zoo and hardware profiles."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.diffusion.registry import (
+    GPU_SPECS,
+    MODEL_ALIASES,
+    MODEL_ZOO,
+    GpuSpec,
+    ModelSpec,
+    get_gpu,
+    get_model,
+)
+
+
+class TestGpuSpecs:
+    def test_paper_testbeds_present(self):
+        assert "A40" in GPU_SPECS and "MI210" in GPU_SPECS
+
+    def test_memory_sizes_match_paper(self):
+        assert GPU_SPECS["A40"].memory_gb == 48
+        assert GPU_SPECS["MI210"].memory_gb == 64
+
+    def test_get_gpu_unknown(self):
+        with pytest.raises(KeyError):
+            get_gpu("H100")
+
+    def test_invalid_memory(self):
+        with pytest.raises(ValueError):
+            GpuSpec(name="bad", memory_gb=0, idle_power_w=10)
+
+
+class TestModelZoo:
+    def test_all_five_models_present(self):
+        expected = {
+            "sd3.5-large",
+            "flux.1-dev",
+            "sdxl",
+            "sana-1.6b",
+            "sd3.5-large-turbo",
+        }
+        assert set(MODEL_ZOO) == expected
+
+    def test_aliases_resolve(self):
+        for alias, canonical in MODEL_ALIASES.items():
+            assert get_model(alias).name == canonical
+
+    def test_get_model_unknown(self):
+        with pytest.raises(KeyError):
+            get_model("dall-e-2")
+
+    def test_parameter_counts_match_paper(self):
+        assert get_model("SD3.5L").params_b == 8.0
+        assert get_model("FLUX").params_b == 12.0
+        assert get_model("SDXL").params_b == 3.0
+        assert get_model("SANA").params_b == 1.6
+
+    def test_turbo_uses_ten_steps(self):
+        assert get_model("SD3.5L-Turbo").total_steps == 10
+
+    def test_others_use_fifty_steps(self):
+        for name in ("SD3.5L", "FLUX", "SDXL", "SANA"):
+            assert get_model(name).total_steps == 50
+
+    def test_precision_follows_paper(self):
+        assert get_model("SDXL").precision == "fp16"
+        assert get_model("SD3.5L").precision == "bf16"
+
+    def test_small_models_faster_per_step(self):
+        large = get_model("SD3.5L")
+        for small in ("SDXL", "SANA"):
+            spec = get_model(small)
+            for gpu in ("A40", "MI210"):
+                assert spec.step_time_s[gpu] < large.step_time_s[gpu]
+
+    def test_sana_fastest(self):
+        sana = get_model("SANA")
+        others = [get_model(n) for n in ("SD3.5L", "FLUX", "SDXL")]
+        for gpu in ("A40", "MI210"):
+            assert all(
+                sana.step_time_s[gpu] < o.step_time_s[gpu] for o in others
+            )
+
+    def test_vanilla_mi210_cluster_capacity(self):
+        """16 MI210s saturate near 10 req/min (Fig. 10 calibration)."""
+        large = get_model("SD3.5L")
+        per_gpu = large.throughput_rpm("MI210", large.total_steps)
+        assert 9.0 < 16 * per_gpu < 11.0
+
+    def test_vanilla_a40_cluster_capacity(self):
+        """4 A40s saturate near 5 req/min (Fig. 12 calibration)."""
+        large = get_model("SD3.5L")
+        per_gpu = large.throughput_rpm("A40", large.total_steps)
+        assert 4.0 < 4 * per_gpu < 6.0
+
+
+class TestModelSpecDerived:
+    def test_service_time_linear_in_steps(self):
+        spec = get_model("SD3.5L")
+        t10 = spec.service_time_s("MI210", 10)
+        t20 = spec.service_time_s("MI210", 20)
+        assert np.isclose(
+            t20 - t10, 10 * spec.step_time_s["MI210"]
+        )
+
+    def test_service_time_includes_overhead(self):
+        spec = get_model("SD3.5L")
+        assert spec.service_time_s("MI210", 0) == spec.fixed_overhead_s
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError):
+            get_model("SD3.5L").service_time_s("MI210", -1)
+
+    def test_unknown_gpu_rejected(self):
+        with pytest.raises(KeyError):
+            get_model("SD3.5L").service_time_s("H100", 10)
+
+    def test_energy_is_time_times_power(self):
+        spec = get_model("SDXL")
+        t = spec.service_time_s("A40", 25)
+        assert np.isclose(
+            spec.energy_joules("A40", 25), t * spec.power_w["A40"]
+        )
+
+    def test_throughput_inverse_of_service_time(self):
+        spec = get_model("SANA")
+        assert np.isclose(
+            spec.throughput_rpm("A40", 50),
+            60.0 / spec.service_time_s("A40", 50),
+        )
+
+    def test_schedule_matches_spec(self):
+        spec = get_model("SD3.5L-Turbo")
+        assert spec.schedule().total_steps == 10
+
+
+class TestSpecValidation:
+    def test_invalid_alignment(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(MODEL_ZOO["sdxl"], alignment=1.5)
+
+    def test_invalid_realism(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(MODEL_ZOO["sdxl"], realism=-0.1)
+
+    def test_unknown_gpu_in_profile(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(
+                MODEL_ZOO["sdxl"], step_time_s={"TPU": 1.0}
+            )
+
+    def test_quality_calibration_orderings(self):
+        """The relationships Tables 2-3 rely on."""
+        sdxl = get_model("SDXL")
+        sd35 = get_model("SD3.5L")
+        sana = get_model("SANA")
+        # SDXL aligns better than SD3.5L but is far less realistic.
+        assert sdxl.alignment > sd35.alignment
+        assert sdxl.realism < sd35.realism
+        # SANA has the lowest IS confidence and aesthetics.
+        assert sana.class_confidence < sd35.class_confidence
+        assert sana.aesthetic < sdxl.aesthetic

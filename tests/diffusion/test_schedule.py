@@ -1,0 +1,105 @@
+"""Tests for noise schedules and Eq. 2 re-noising."""
+
+import numpy as np
+import pytest
+
+from repro._rng import rng_for
+from repro.diffusion.schedule import NoiseSchedule
+
+
+class TestScheduleConstruction:
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            NoiseSchedule(total_steps=0)
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            NoiseSchedule(kind="quadratic")
+
+    @pytest.mark.parametrize("kind", ["flow", "cosine"])
+    def test_endpoints(self, kind):
+        sched = NoiseSchedule(total_steps=50, kind=kind)
+        assert sched.sigma_at(0) == 1.0
+        assert sched.sigma_at(50) == 0.0
+
+    @pytest.mark.parametrize("kind", ["flow", "cosine"])
+    def test_monotone_decreasing(self, kind):
+        sigmas = NoiseSchedule(total_steps=50, kind=kind).sigmas
+        assert all(b <= a for a, b in zip(sigmas, sigmas[1:]))
+
+    def test_flow_is_linear(self):
+        sched = NoiseSchedule(total_steps=50, kind="flow")
+        assert np.isclose(sched.sigma_at(25), 0.5)
+        assert np.isclose(sched.sigma_at(10), 0.8)
+
+    def test_cosine_front_loaded(self):
+        # Cosine keeps more noise early relative to the linear ramp.
+        flow = NoiseSchedule(total_steps=50, kind="flow")
+        cos = NoiseSchedule(total_steps=50, kind="cosine")
+        assert cos.sigma_at(10) > flow.sigma_at(10) - 0.05
+
+    def test_sigmas_length(self):
+        assert len(NoiseSchedule(total_steps=10).sigmas) == 11
+
+
+class TestStepAccounting:
+    def test_remaining_steps(self):
+        sched = NoiseSchedule(total_steps=50)
+        assert sched.remaining_steps(0) == 50
+        assert sched.remaining_steps(30) == 20
+        assert sched.remaining_steps(50) == 0
+
+    def test_remaining_steps_bounds(self):
+        with pytest.raises(ValueError):
+            NoiseSchedule(total_steps=50).remaining_steps(51)
+
+    def test_sigma_at_bounds(self):
+        with pytest.raises(ValueError):
+            NoiseSchedule(total_steps=50).sigma_at(-1)
+
+    def test_scaled_skip_fractions(self):
+        sched = NoiseSchedule(total_steps=10)
+        assert sched.scaled_skip(0.0) == 0
+        assert sched.scaled_skip(0.5) == 5
+        assert sched.scaled_skip(1.0) == 10
+
+    def test_scaled_skip_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            NoiseSchedule(total_steps=10).scaled_skip(1.2)
+
+
+class TestRenoise:
+    def test_k_zero_is_pure_noise(self):
+        sched = NoiseSchedule(total_steps=50)
+        content = np.ones(16)
+        noisy = sched.renoise(content, 0, rng_for("renoise"))
+        # sigma_0 = 1: no trace of the image remains.
+        assert np.isclose(np.linalg.norm(noisy), 1.0, atol=1e-6)
+
+    def test_k_full_returns_image(self):
+        sched = NoiseSchedule(total_steps=50)
+        content = np.arange(8, dtype=float)
+        noisy = sched.renoise(content, 50, rng_for("renoise"))
+        assert np.allclose(noisy, content)
+
+    def test_partial_blend(self):
+        sched = NoiseSchedule(total_steps=50, kind="flow")
+        content = np.ones(32)
+        noisy = sched.renoise(content, 30, rng_for("renoise"))
+        # (1 - sigma_30) = 0.6 of the content survives.
+        residual = noisy - 0.6 * content
+        assert np.isclose(np.linalg.norm(residual), sched.sigma_at(30))
+
+    def test_structure_retention_complements_sigma(self):
+        sched = NoiseSchedule(total_steps=50)
+        for k in (0, 10, 30, 50):
+            assert np.isclose(
+                sched.structure_retention(k), 1.0 - sched.sigma_at(k)
+            )
+
+    def test_deterministic_given_rng(self):
+        sched = NoiseSchedule(total_steps=50)
+        content = np.ones(8)
+        a = sched.renoise(content, 20, rng_for("seed-x"))
+        b = sched.renoise(content, 20, rng_for("seed-x"))
+        assert np.allclose(a, b)

@@ -1,0 +1,150 @@
+"""Tests for the CLIP-like text and image encoders."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.image_encoder import ClipLikeImageEncoder
+from repro.embedding.space import SemanticSpace, cosine
+from repro.embedding.text_encoder import ClipLikeTextEncoder, prompt_mixture
+
+
+@pytest.fixture(scope="module")
+def text_encoder(space):
+    return ClipLikeTextEncoder(space)
+
+
+@pytest.fixture(scope="module")
+def image_encoder(space):
+    return ClipLikeImageEncoder(space)
+
+
+class TestTextEncoder:
+    def test_unit_norm(self, text_encoder, prompts):
+        emb = text_encoder.encode(prompts[0])
+        assert np.isclose(np.linalg.norm(emb), 1.0)
+
+    def test_embed_dim(self, text_encoder, space, prompts):
+        assert text_encoder.encode(prompts[0]).shape == (
+            space.config.embed_dim,
+        )
+
+    def test_cache_returns_identical_object(self, text_encoder, prompts):
+        a = text_encoder.encode(prompts[0])
+        b = text_encoder.encode(prompts[0])
+        assert a is b
+
+    def test_cache_disabled(self, space, prompts):
+        enc = ClipLikeTextEncoder(space, cache_embeddings=False)
+        a = enc.encode(prompts[0])
+        b = enc.encode(prompts[0])
+        assert a is not b
+        assert np.allclose(a, b)
+
+    def test_clear_cache(self, space, prompts):
+        enc = ClipLikeTextEncoder(space)
+        a = enc.encode(prompts[0])
+        enc.clear_cache()
+        assert enc.encode(prompts[0]) is not a
+
+    def test_batch_matches_single(self, text_encoder, prompts):
+        batch = text_encoder.encode_batch(prompts[:4])
+        assert batch.shape == (4, text_encoder.embed_dim)
+        for i in range(4):
+            assert np.allclose(batch[i], text_encoder.encode(prompts[i]))
+
+    def test_empty_batch(self, text_encoder):
+        assert text_encoder.encode_batch([]).shape == (
+            0,
+            text_encoder.embed_dim,
+        )
+
+    def test_same_session_prompts_similar(self, text_encoder, ddb_trace):
+        by_session = {}
+        for r in ddb_trace:
+            by_session.setdefault(r.prompt.session_id, []).append(r.prompt)
+        sessions = [p for p in by_session.values() if len(p) >= 2]
+        p1, p2 = sessions[0][0], sessions[0][1]
+        same = cosine(text_encoder.encode(p1), text_encoder.encode(p2))
+        other = sessions[10][0]
+        cross = cosine(text_encoder.encode(p1), text_encoder.encode(other))
+        assert same > cross
+
+    def test_text_text_floor_dominates(self, text_encoder, prompts):
+        # The shared text anchor keeps even unrelated prompts correlated.
+        sim = cosine(
+            text_encoder.encode(prompts[0]),
+            text_encoder.encode(prompts[50]),
+        )
+        assert sim > 0.5
+
+    def test_mixture_unit_norm(self, space, prompts):
+        mix = prompt_mixture(space, prompts[0])
+        assert np.isclose(np.linalg.norm(mix), 1.0)
+        assert mix.shape == (space.config.semantic_dim,)
+
+
+class TestImageEncoder:
+    def test_unit_norm(self, image_encoder, sample_images):
+        emb = image_encoder.encode(sample_images[0])
+        assert np.isclose(np.linalg.norm(emb), 1.0)
+
+    def test_cache(self, image_encoder, sample_images):
+        a = image_encoder.encode(sample_images[0])
+        assert image_encoder.encode(sample_images[0]) is a
+
+    def test_batch_matches_single(self, image_encoder, sample_images):
+        batch = image_encoder.encode_batch(sample_images[:3])
+        for i in range(3):
+            assert np.allclose(
+                batch[i], image_encoder.encode(sample_images[i])
+            )
+
+    def test_wrong_content_shape_rejected(self, space):
+        enc = ClipLikeImageEncoder(space, cache_embeddings=False)
+
+        class Bad:
+            image_id = "bad"
+            content = np.zeros(space.config.semantic_dim + 3)
+
+        with pytest.raises(ValueError):
+            enc.encode(Bad())
+
+    def test_encoder_noise_perturbs_identical_content(
+        self, space, sample_images
+    ):
+        enc = ClipLikeImageEncoder(space, cache_embeddings=False)
+
+        class Clone:
+            def __init__(self, image_id, content):
+                self.image_id = image_id
+                self.content = content
+
+        img = sample_images[0]
+        a = enc.encode(Clone("id-a", img.content))
+        b = enc.encode(Clone("id-b", img.content))
+        assert not np.allclose(a, b)
+        assert cosine(a, b) > 0.99
+
+
+class TestModalityGap:
+    def test_text_image_similarity_in_calibrated_band(
+        self, space, text_encoder, image_encoder, large_model, prompts
+    ):
+        sims = []
+        for p in prompts[:50]:
+            img = large_model.generate(p, seed="gap-test").image
+            sims.append(
+                cosine(text_encoder.encode(p), image_encoder.encode(img))
+            )
+        mean = float(np.mean(sims))
+        # Tables 2-3 calibrate vanilla CLIP ~0.285.
+        assert 0.26 < mean < 0.31
+
+    def test_unrelated_image_near_floor(
+        self, space, text_encoder, image_encoder, large_model, prompts
+    ):
+        img = large_model.generate(prompts[0], seed="gap-test").image
+        sim = cosine(
+            text_encoder.encode(prompts[99]), image_encoder.encode(img)
+        )
+        assert sim < 0.24

@@ -1,0 +1,97 @@
+"""Tests for the token vocabulary."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.vocab import (
+    CATEGORIES,
+    Vocabulary,
+    surface_vector,
+    token_vector,
+)
+from repro._rng import rng_for
+
+
+class TestTokenVector:
+    def test_unit_norm(self):
+        assert np.isclose(np.linalg.norm(token_vector("dragon", 48)), 1.0)
+
+    def test_deterministic(self):
+        assert np.allclose(
+            token_vector("dragon", 48), token_vector("dragon", 48)
+        )
+
+    def test_distinct_tokens_distinct_vectors(self):
+        a = token_vector("dragon", 48)
+        b = token_vector("castle", 48)
+        assert not np.allclose(a, b)
+
+    def test_dim_respected(self):
+        assert token_vector("dragon", 12).shape == (12,)
+
+    def test_cache_returns_same_object(self):
+        assert token_vector("cat", 48) is token_vector("cat", 48)
+
+
+class TestSurfaceVector:
+    def test_empty_tokens_zero_vector(self):
+        assert np.allclose(surface_vector([], 16), np.zeros(16))
+
+    def test_unit_norm_for_nonempty(self):
+        vec = surface_vector(["dragon", "castle"], 48)
+        assert np.isclose(np.linalg.norm(vec), 1.0)
+
+    def test_token_order_irrelevant(self):
+        a = surface_vector(["dragon", "castle"], 48)
+        b = surface_vector(["castle", "dragon"], 48)
+        assert np.allclose(a, b)
+
+    def test_overlap_raises_similarity(self):
+        base = ["dragon", "castle", "watercolor", "at-sunset"]
+        near = ["dragon", "castle", "watercolor", "at-dawn"]
+        far = ["robot", "city", "cyberpunk", "at-night"]
+        sim_near = float(surface_vector(base, 48) @ surface_vector(near, 48))
+        sim_far = float(surface_vector(base, 48) @ surface_vector(far, 48))
+        assert sim_near > sim_far
+        assert sim_near > 0.5
+
+
+class TestVocabulary:
+    def test_rejects_nonpositive_dim(self):
+        with pytest.raises(ValueError):
+            Vocabulary(dim=0)
+
+    def test_rejects_empty_category(self):
+        with pytest.raises(ValueError):
+            Vocabulary(dim=8, categories={"empty": ()})
+
+    def test_default_categories_present(self):
+        vocab = Vocabulary(dim=16)
+        assert set(vocab.categories) == set(CATEGORIES)
+
+    def test_tokens_in_unknown_category(self):
+        vocab = Vocabulary(dim=16)
+        with pytest.raises(KeyError):
+            vocab.tokens_in("nope")
+
+    def test_sample_draws_from_pool(self):
+        vocab = Vocabulary(dim=16)
+        token = vocab.sample("subject", rng_for("test"))
+        assert token in vocab.tokens_in("subject")
+
+    def test_vector_cached(self):
+        vocab = Vocabulary(dim=16)
+        assert vocab.vector("dragon") is vocab.vector("dragon")
+
+    def test_surface_matches_module_function(self):
+        vocab = Vocabulary(dim=48)
+        tokens = ["dragon", "castle"]
+        assert np.allclose(
+            vocab.surface(tokens), surface_vector(tokens, 48)
+        )
+
+    def test_all_tokens_flat_list(self):
+        vocab = Vocabulary(dim=16)
+        assert len(vocab.all_tokens) == sum(
+            len(pool) for pool in vocab.categories.values()
+        )

@@ -1,0 +1,64 @@
+"""Tests for the experiments CLI."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, build_parser, main, resolve_ids
+
+
+class TestRegistry:
+    def test_all_paper_artefacts_registered(self):
+        expected = {
+            "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+            "fig16", "fig17", "fig18", "fig19", "table2", "table3", "a6",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_resolve_all(self):
+        assert resolve_ids(["all"]) == list(EXPERIMENTS)
+
+    def test_resolve_unknown(self):
+        with pytest.raises(KeyError):
+            resolve_ids(["fig99"])
+
+    def test_resolve_passthrough(self):
+        assert resolve_ids(["fig7", "table2"]) == ["fig7", "table2"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig7"])
+        assert args.scale == "default"
+        assert args.output_dir is None
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig7", "--scale", "huge"])
+
+
+class TestMain:
+    def test_list_prints_registry(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_single_experiment(self, capsys, tmp_path):
+        code = main(
+            [
+                "run",
+                "fig2",
+                "--scale",
+                "smoke",
+                "--output-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out
+        assert (tmp_path / "fig2.txt").exists()

@@ -1,0 +1,185 @@
+"""Tests for the experiment harness, figures, and tables (smoke scale)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CacheAdmission
+from repro.experiments import (
+    ExperimentContext,
+    ExperimentResult,
+    SCALES,
+    format_table,
+)
+from repro.experiments import figures, tables
+from repro.experiments.harness import CacheOnlyRun
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(scale="smoke")
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["33", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+    def test_format_table_validates_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["1", "2"]])
+
+    def test_format_table_needs_columns(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_result_render_includes_notes_and_rows(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="t",
+            paper_reference="ref",
+        )
+        result.add_note("scaled down")
+        result.add_row(a=1, b=2.5)
+        text = result.render()
+        assert "== x: t ==" in text
+        assert "ref" in text
+        assert "scaled down" in text
+        assert "2.500" in text
+
+    def test_result_column(self):
+        result = ExperimentResult(experiment_id="x", title="t")
+        result.add_row(a=1)
+        result.add_row(a=2, b=3)
+        assert result.column("a") == [1, 2]
+        assert result.column("b") == [3]
+
+
+class TestHarness:
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(KeyError):
+            ExperimentContext(scale="galactic")
+
+    def test_scales_are_ordered(self):
+        assert (
+            SCALES["smoke"].serve_requests
+            < SCALES["default"].serve_requests
+            < SCALES["paper"].serve_requests
+        )
+
+    def test_model_instances_cached(self, ctx):
+        assert ctx.model("sdxl") is ctx.model("sdxl")
+
+    def test_traces_cached(self, ctx):
+        assert ctx.diffusiondb() is ctx.diffusiondb()
+
+    def test_split_sizes(self, ctx):
+        warm, serve = ctx.split(ctx.diffusiondb())
+        assert len(warm) == ctx.scale.warm_prompts
+        assert len(serve) == ctx.scale.serve_requests
+
+    def test_mjhq_diluted(self, ctx):
+        """Family mates mostly fall outside the experiment window."""
+        trace = ctx.mjhq()
+        assert len(trace) == (
+            ctx.scale.warm_prompts + ctx.scale.serve_requests
+        )
+
+    def test_cache_only_run_counts(self, ctx):
+        warm, serve = ctx.split(ctx.diffusiondb())
+        run = ctx.modm_cache_run()
+        run.warm(warm[:50])
+        records = run.serve([r.prompt for r in serve][:80])
+        assert len(records) == 80
+        assert len(run.records) == 80
+        assert 0.0 <= run.hit_rate() <= 1.0
+
+    def test_cache_only_hits_carry_source_age(self, ctx):
+        warm, serve = ctx.split(ctx.diffusiondb())
+        run = ctx.modm_cache_run()
+        run.warm(warm)
+        records = run.serve(
+            [r.prompt for r in serve][:100],
+            [r.arrival_s for r in serve][:100],
+        )
+        for record in records:
+            if record.hit:
+                assert record.retrieved_created_at is not None
+                assert record.k_steps > 0
+
+    def test_cache_only_admission_large_only(self, ctx):
+        warm, serve = ctx.split(ctx.diffusiondb())
+        run = ctx.modm_cache_run(admission=CacheAdmission.LARGE_ONLY)
+        run.warm(warm[:50])
+        run.serve([r.prompt for r in serve][:60])
+        for entry in run.cache.entries():
+            assert entry.payload.model_name == "sd3.5-large"
+
+    def test_quality_row_keys(self, ctx):
+        warm, serve = ctx.split(ctx.diffusiondb())
+        prompts = [r.prompt for r in serve][:30]
+        gt = ctx.ground_truth(prompts)
+        sim = ctx.model("sd3.5-large")
+        pairs = [
+            (p, sim.generate(p, seed="qr").image) for p in prompts
+        ]
+        row = ctx.quality_row(pairs, gt)
+        assert set(row) == {"clip", "fid", "is", "pick"}
+
+
+class TestFigures:
+    def test_fig2_policy_ordering(self, ctx):
+        result = figures.fig2_retrieval_distributions(ctx)
+        by_policy = {r["policy"]: r for r in result.rows}
+        assert (
+            by_policy["text-to-image"]["mean_clip"]
+            > by_policy["text-to-text"]["mean_clip"]
+        )
+
+    def test_fig5_rows_cover_k_set(self, ctx):
+        result = figures.fig5_quality_vs_similarity(ctx)
+        ks = {r["k"] for r in result.rows if isinstance(r["k"], int)}
+        assert ks == {5, 10, 15, 20, 25, 30}
+
+    def test_fig6_hit_rates_bounded(self, ctx):
+        result = figures.fig6_hit_rate_over_trace(ctx, checkpoints=4)
+        for row in result.rows:
+            for key, value in row.items():
+                if key.startswith("hit_rate"):
+                    assert 0.0 <= value <= 1.0
+
+    def test_fig9_rows_per_size_and_system(self, ctx):
+        result = figures.fig9_cache_hit_rates(ctx)
+        assert len(result.rows) == 3 * len(ctx.scale.cache_size_sweep)
+
+    def test_fig15_fractions_sum_near_one(self, ctx):
+        result = figures.fig15_temporal_locality(ctx)
+        hourly = [
+            r["fraction"] for r in result.rows if r["hours"] != "<=4h"
+        ]
+        assert 0.99 < sum(hourly) <= 1.01
+
+    def test_fig18_vanilla_is_reference(self, ctx):
+        result = figures.fig18_energy(ctx)
+        vanilla = next(
+            r for r in result.rows if r["system"] == "vanilla"
+        )
+        assert vanilla["savings_pct"] == 0.0
+        for row in result.rows:
+            if row["system"].startswith("modm"):
+                assert row["savings_pct"] > 0.0
+
+
+class TestTables:
+    def test_a6_quality_drop_is_small(self, ctx):
+        result = tables.a6_small_model_cache_quality(ctx)
+        clip = {
+            r["stage2_cache"]: r["stage3_hit_clip"] for r in result.rows
+        }
+        assert set(clip) == {
+            "full-SD3.5L",
+            "refine-SD3.5L",
+            "refine-SDXL",
+        }
+        assert clip["full-SD3.5L"] - clip["refine-SDXL"] < 2.0

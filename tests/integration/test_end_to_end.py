@@ -1,0 +1,185 @@
+"""Integration tests: whole-system behaviours the paper's claims rest on."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import NirvanaSystem, VanillaSystem
+from repro.core.config import (
+    CacheAdmission,
+    ClusterConfig,
+    MoDMConfig,
+    MonitorMode,
+)
+from repro.core.serving import MoDMSystem
+from repro.metrics import slo_violation_rate
+from repro.cluster.arrivals import poisson_arrivals
+
+
+@pytest.fixture(scope="module")
+def shared(space, ddb_trace):
+    warm = [r.prompt for r in ddb_trace.requests[:250]]
+    serve = ddb_trace.slice(250, 500)
+    return warm, serve
+
+
+def _modm(space, n_workers=8, **overrides):
+    defaults = dict(
+        cluster=ClusterConfig(gpu_name="MI210", n_workers=n_workers),
+        cache_capacity=800,
+        small_models=("sdxl",),
+    )
+    defaults.update(overrides)
+    return MoDMSystem(space, MoDMConfig(**defaults))
+
+
+class TestHeadlineSpeedup:
+    def test_modm_beats_vanilla_and_nirvana(self, space, shared):
+        """The paper's core claim: MoDM > Nirvana > Vanilla throughput."""
+        warm, serve = shared
+        flat = serve.ignore_timestamps()
+        cluster = ClusterConfig(gpu_name="MI210", n_workers=8)
+
+        vanilla = VanillaSystem(space, cluster).run(flat)
+        nirvana_sys = NirvanaSystem(space, cluster, cache_capacity=800)
+        nirvana_sys.warm_cache(warm)
+        nirvana = nirvana_sys.run(flat)
+        modm_sys = _modm(space)
+        modm_sys.warm_cache(warm)
+        modm = modm_sys.run(flat)
+
+        assert modm.throughput_rpm > nirvana.throughput_rpm
+        assert nirvana.throughput_rpm > vanilla.throughput_rpm
+        assert modm.throughput_rpm > 1.7 * vanilla.throughput_rpm
+
+    def test_energy_ordering(self, space, shared):
+        """Fig. 18's ordering: vanilla > nirvana > modm energy/request."""
+        warm, serve = shared
+        flat = serve.ignore_timestamps()
+        cluster = ClusterConfig(gpu_name="MI210", n_workers=8)
+
+        def epr(system):
+            if hasattr(system, "warm_cache"):
+                system.warm_cache(warm)
+            report = system.run(flat)
+            return report.energy.total_joules / report.n_completed
+
+        e_vanilla = epr(VanillaSystem(space, cluster))
+        e_nirvana = epr(NirvanaSystem(space, cluster, cache_capacity=800))
+        e_modm = epr(_modm(space))
+        assert e_modm < e_nirvana < e_vanilla
+
+
+class TestSloBehaviour:
+    def test_modm_survives_rates_that_break_vanilla(self, space, shared):
+        """Fig. 12's shape on a scaled cluster."""
+        warm, serve = shared
+        cluster = ClusterConfig(gpu_name="MI210", n_workers=8)
+        # 8 MI210 workers -> vanilla capacity ~5/min; drive 8/min.
+        arrivals = poisson_arrivals(8.0, len(serve), seed="slo-int")
+        timed = serve.with_arrivals(arrivals)
+        threshold = 2 * 96.0  # 2x large-model solo latency on MI210
+
+        vanilla = VanillaSystem(space, cluster).run(timed)
+        v_rate = slo_violation_rate(
+            vanilla.latencies(), threshold
+        ).violation_rate
+
+        system = _modm(space)
+        system.warm_cache(warm)
+        modm = system.run(timed)
+        m_rate = slo_violation_rate(
+            modm.latencies(), threshold
+        ).violation_rate
+        assert v_rate > 0.5
+        assert m_rate < v_rate / 2
+
+    def test_low_rate_everyone_compliant(self, space, shared):
+        warm, serve = shared
+        cluster = ClusterConfig(gpu_name="MI210", n_workers=8)
+        arrivals = poisson_arrivals(2.0, 100, seed="slo-low")
+        timed = serve.slice(0, 100).with_arrivals(arrivals)
+        threshold = 4 * 96.0
+        for system in (VanillaSystem(space, cluster), _modm(space)):
+            if hasattr(system, "warm_cache"):
+                system.warm_cache(warm)
+            report = system.run(timed)
+            rate = slo_violation_rate(
+                report.latencies(), threshold
+            ).violation_rate
+            assert rate < 0.1
+
+
+class TestCrossModelFamilies:
+    def test_sana_small_model_serves_sd_cache(self, space, shared):
+        """DG#2: the image cache is reusable across model families."""
+        warm, serve = shared
+        system = _modm(space, small_models=("sana-1.6b",))
+        system.warm_cache(warm)  # cache filled by stable-diffusion images
+        report = system.run(serve.rebase())
+        refined_by_sana = [
+            r
+            for r in report.completed()
+            if r.model_name == "sana-1.6b" and r.is_hit
+        ]
+        assert refined_by_sana
+
+    def test_flux_as_large_model(self, space, shared):
+        warm, serve = shared
+        system = _modm(space, large_model="flux.1-dev")
+        system.warm_cache(warm)
+        report = system.run(serve.rebase())
+        assert report.n_completed == len(serve)
+        miss_models = {
+            r.model_name for r in report.completed() if not r.is_hit
+        }
+        assert miss_models == {"flux.1-dev"}
+
+
+class TestMetamorphic:
+    def test_more_gpus_no_lower_throughput(self, space, shared):
+        warm, serve = shared
+        flat = serve.ignore_timestamps()
+        thrs = []
+        for n in (4, 8):
+            system = _modm(space, n_workers=n)
+            system.warm_cache(warm)
+            thrs.append(system.run(flat).throughput_rpm)
+        assert thrs[1] >= thrs[0]
+
+    def test_larger_cache_no_lower_hit_rate(self, space, shared):
+        warm, serve = shared
+        rebased = serve.rebase()
+        rates = []
+        for capacity in (100, 800):
+            system = _modm(space, cache_capacity=capacity)
+            system.warm_cache(warm[-min(len(warm), capacity):])
+            rates.append(system.run(rebased).hit_rate)
+        assert rates[1] >= rates[0] - 0.02
+
+    def test_cache_all_at_least_cache_large_hit_rate(self, space, shared):
+        warm, serve = shared
+        rebased = serve.rebase()
+        rates = {}
+        for admission in (CacheAdmission.LARGE_ONLY, CacheAdmission.ALL):
+            system = _modm(space, cache_admission=admission)
+            system.warm_cache(warm)
+            rates[admission] = system.run(rebased).hit_rate
+        assert (
+            rates[CacheAdmission.ALL]
+            >= rates[CacheAdmission.LARGE_ONLY] - 0.02
+        )
+
+    def test_quality_mode_uses_more_large_workers(self, space, shared):
+        warm, serve = shared
+        timed = serve.rebase()
+        shares = {}
+        for mode in (MonitorMode.QUALITY, MonitorMode.THROUGHPUT):
+            system = _modm(space, monitor_mode=mode)
+            system.warm_cache(warm)
+            report = system.run(timed)
+            large = sum(a.n_large for a in report.allocations)
+            total = sum(
+                a.n_large + a.n_small for a in report.allocations
+            )
+            shares[mode] = large / max(1, total)
+        assert shares[MonitorMode.QUALITY] >= shares[MonitorMode.THROUGHPUT]

@@ -1,0 +1,55 @@
+"""Tests for the generation-diversity metrics (future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.diversity import class_coverage, pairwise_diversity
+from repro.metrics.inception import InceptionScoreMetric
+
+
+class TestPairwiseDiversity:
+    def test_clones_have_zero_diversity(self, sample_images):
+        clones = [sample_images[0]] * 10
+        assert pairwise_diversity(clones) < 1e-9
+
+    def test_varied_set_positive(self, sample_images):
+        assert pairwise_diversity(sample_images[:40]) > 0.2
+
+    def test_mixing_in_clones_reduces_diversity(self, sample_images):
+        varied = sample_images[:30]
+        skewed = sample_images[:10] + [sample_images[0]] * 20
+        assert pairwise_diversity(skewed) < pairwise_diversity(varied)
+
+    def test_requires_two_images(self, sample_images):
+        with pytest.raises(ValueError):
+            pairwise_diversity(sample_images[:1])
+
+    def test_subsampling_close_to_exact(self, sample_images):
+        exact = pairwise_diversity(sample_images, max_pairs=10**9)
+        approx = pairwise_diversity(sample_images, max_pairs=300)
+        assert abs(exact - approx) < 0.1
+
+    def test_bounded(self, sample_images):
+        value = pairwise_diversity(sample_images[:50])
+        assert 0.0 <= value <= 2.0
+
+
+class TestClassCoverage:
+    @pytest.fixture(scope="class")
+    def metric(self, space):
+        return InceptionScoreMetric(space.config.semantic_dim)
+
+    def test_clones_cover_little(self, metric, sample_images):
+        clones = [sample_images[0]] * 20
+        varied = sample_images[:60]
+        assert class_coverage(clones, metric) < class_coverage(
+            varied, metric
+        )
+
+    def test_in_unit_interval(self, metric, sample_images):
+        value = class_coverage(sample_images[:40], metric)
+        assert 0.0 < value <= 1.0
+
+    def test_empty_rejected(self, metric):
+        with pytest.raises(ValueError):
+            class_coverage([], metric)

@@ -1,0 +1,110 @@
+"""Tests for serving metrics (latency, SLO, throughput timelines)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.latency import (
+    LatencyStats,
+    makespan,
+    offered_vs_served,
+    percentile,
+    slo_violation_rate,
+    throughput_timeline,
+)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestLatencyStats:
+    def test_summary_fields(self):
+        stats = LatencyStats.from_latencies(list(range(100)))
+        assert stats.count == 100
+        assert np.isclose(stats.mean_s, 49.5)
+        assert stats.p99_s >= stats.p95_s >= stats.p50_s
+        assert stats.max_s == 99.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LatencyStats.from_latencies([-1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LatencyStats.from_latencies([])
+
+
+class TestSloViolation:
+    def test_counts_exceeders(self):
+        report = slo_violation_rate([1.0, 5.0, 10.0, 20.0], 9.0)
+        assert report.violations == 2
+        assert np.isclose(report.violation_rate, 0.5)
+        assert not report.compliant
+
+    def test_boundary_not_violation(self):
+        report = slo_violation_rate([9.0], 9.0)
+        assert report.violations == 0
+        assert report.compliant
+
+    def test_empty_latencies(self):
+        report = slo_violation_rate([], 1.0)
+        assert report.violation_rate == 0.0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            slo_violation_rate([1.0], 0.0)
+
+
+class TestThroughputTimeline:
+    def test_counts_per_bucket(self):
+        times = [10, 20, 70, 80, 90]
+        centers, rates = throughput_timeline(times, bucket_s=60.0)
+        assert len(centers) == 2
+        assert rates[0] == 2.0 and rates[1] == 3.0
+
+    def test_rate_units(self):
+        # 4 completions in a 120 s bucket = 2/min.
+        _, rates = throughput_timeline([1, 2, 3, 4], bucket_s=120.0)
+        assert rates[0] == 2.0
+
+    def test_empty(self):
+        centers, rates = throughput_timeline([])
+        assert centers.size == 0 and rates.size == 0
+
+    def test_invalid_bucket(self):
+        with pytest.raises(ValueError):
+            throughput_timeline([1.0], bucket_s=0.0)
+
+    def test_makespan(self):
+        assert makespan([3.0, 9.0, 1.0]) == 9.0
+        assert makespan([]) == 0.0
+
+
+class TestOfferedVsServed:
+    def test_shared_axis(self):
+        arrivals = [0, 30, 60, 90]
+        completions = [50, 100, 150, 200]
+        centers, offered, served = offered_vs_served(
+            arrivals, completions, bucket_s=60.0
+        )
+        assert len(centers) == len(offered) == len(served)
+        assert centers[-1] > 150
+
+    def test_backlog_visible(self):
+        # Demand burst at t=0; completions trickle out.
+        arrivals = [0.0] * 10
+        completions = [60.0 * i for i in range(1, 11)]
+        _, offered, served = offered_vs_served(
+            arrivals, completions, bucket_s=60.0
+        )
+        assert offered[0] == 10.0
+        assert served[0] <= 1.0

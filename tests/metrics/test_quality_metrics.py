@@ -1,0 +1,173 @@
+"""Tests for CLIPScore, FID, Inception Score, and PickScore."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.model import DiffusionModelSim
+from repro.diffusion.registry import get_model
+from repro.metrics import (
+    ClipScoreMetric,
+    FidMetric,
+    InceptionScoreMetric,
+    PickScoreMetric,
+    frechet_distance,
+)
+from repro.metrics.fid import image_features
+
+
+@pytest.fixture(scope="module")
+def clip(space):
+    return ClipScoreMetric(space)
+
+
+@pytest.fixture(scope="module")
+def quality_sets(space, prompts):
+    large = DiffusionModelSim(get_model("SD3.5L"), space)
+    sana = DiffusionModelSim(get_model("SANA"), space)
+    subset = prompts[:80]
+    return {
+        "prompts": subset,
+        "gt": [large.generate(p, seed="gt").image for p in subset],
+        "large": [large.generate(p, seed="run").image for p in subset],
+        "sana": [sana.generate(p, seed="run").image for p in subset],
+    }
+
+
+class TestClipScore:
+    def test_own_prompt_beats_other_prompt(self, clip, quality_sets):
+        p = quality_sets["prompts"]
+        img = quality_sets["large"][0]
+        assert clip.score(p[0], img) > clip.score(p[50], img)
+
+    def test_score_is_100x_raw(self, clip, quality_sets):
+        p = quality_sets["prompts"][0]
+        img = quality_sets["large"][0]
+        assert np.isclose(clip.score(p, img), 100 * clip.raw(p, img))
+
+    def test_raw_clamped_nonnegative(self, clip, quality_sets):
+        assert clip.raw(
+            quality_sets["prompts"][0], quality_sets["large"][1]
+        ) >= 0.0
+
+    def test_mean_score_empty_rejected(self, clip):
+        with pytest.raises(ValueError):
+            clip.mean_score([])
+
+    def test_vanilla_band(self, clip, quality_sets):
+        pairs = list(zip(quality_sets["prompts"], quality_sets["large"]))
+        assert 26.5 < clip.mean_score(pairs) < 30.5
+
+
+class TestFrechetDistance:
+    def test_identity_zero(self):
+        mu = np.array([1.0, 2.0])
+        sigma = np.array([[2.0, 0.3], [0.3, 1.0]])
+        assert abs(frechet_distance(mu, sigma, mu, sigma)) < 1e-8
+
+    def test_mean_shift_quadratic(self):
+        sigma = np.eye(3)
+        d = frechet_distance(
+            np.zeros(3), sigma, np.array([2.0, 0, 0]), sigma
+        )
+        assert np.isclose(d, 4.0)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((50, 4))
+        b = rng.standard_normal((50, 4)) + 0.5
+        ma, ca = a.mean(0), np.cov(a, rowvar=False)
+        mb, cb = b.mean(0), np.cov(b, rowvar=False)
+        assert np.isclose(
+            frechet_distance(ma, ca, mb, cb),
+            frechet_distance(mb, cb, ma, ca),
+            rtol=1e-6,
+        )
+
+    def test_known_scalar_case(self):
+        # 1-D Gaussians: (m1-m2)^2 + (s1-s2)^2.
+        d = frechet_distance(
+            np.array([0.0]),
+            np.array([[4.0]]),
+            np.array([1.0]),
+            np.array([[1.0]]),
+        )
+        assert np.isclose(d, 1.0 + 1.0)
+
+
+class TestFidMetric:
+    def test_same_model_near_floor(self, quality_sets):
+        fid = FidMetric(quality_sets["gt"])
+        same = fid.score(quality_sets["large"])
+        worse = fid.score(quality_sets["sana"])
+        assert same < worse
+
+    def test_small_model_clearly_worse(self, quality_sets):
+        fid = FidMetric(quality_sets["gt"])
+        assert fid.score(quality_sets["sana"]) > 10.0
+
+    def test_reference_too_small(self, quality_sets):
+        with pytest.raises(ValueError):
+            FidMetric(quality_sets["gt"][:1])
+
+    def test_candidate_too_small(self, quality_sets):
+        fid = FidMetric(quality_sets["gt"])
+        with pytest.raises(ValueError):
+            fid.score(quality_sets["large"][:1])
+
+    def test_feature_scale(self, quality_sets):
+        feats = image_features(quality_sets["gt"][:5])
+        norms = np.linalg.norm(feats, axis=1)
+        assert np.all(norms > 5.0)
+
+
+class TestInceptionScore:
+    def test_predictions_are_distributions(self, space, quality_sets):
+        metric = InceptionScoreMetric(space.config.semantic_dim)
+        probs = metric.predictions(quality_sets["large"][:10])
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_diverse_set_beats_clones(self, space, quality_sets):
+        metric = InceptionScoreMetric(space.config.semantic_dim)
+        diverse = metric.score(quality_sets["large"])
+        clones = metric.score([quality_sets["large"][0]] * 80)
+        assert diverse > clones
+
+    def test_large_beats_sana(self, space, quality_sets):
+        metric = InceptionScoreMetric(space.config.semantic_dim)
+        assert metric.score(quality_sets["large"]) > metric.score(
+            quality_sets["sana"]
+        )
+
+    def test_score_at_least_one(self, space, quality_sets):
+        metric = InceptionScoreMetric(space.config.semantic_dim)
+        assert metric.score(quality_sets["large"]) >= 1.0
+
+    def test_splits_validation(self, space, quality_sets):
+        metric = InceptionScoreMetric(space.config.semantic_dim)
+        with pytest.raises(ValueError):
+            metric.score(quality_sets["large"][:2], splits=3)
+
+    def test_invalid_class_count(self, space):
+        with pytest.raises(ValueError):
+            InceptionScoreMetric(space.config.semantic_dim, n_classes=1)
+
+
+class TestPickScore:
+    def test_in_human_preference_band(self, space, clip, quality_sets):
+        pick = PickScoreMetric(space, clip)
+        pairs = list(zip(quality_sets["prompts"], quality_sets["large"]))
+        score = pick.mean_score(pairs)
+        assert 19.0 < score < 22.5
+
+    def test_sana_aesthetics_penalty(self, space, clip, quality_sets):
+        pick = PickScoreMetric(space, clip)
+        large_pairs = list(
+            zip(quality_sets["prompts"], quality_sets["large"])
+        )
+        sana_pairs = list(zip(quality_sets["prompts"], quality_sets["sana"]))
+        assert pick.mean_score(large_pairs) > pick.mean_score(sana_pairs)
+
+    def test_empty_rejected(self, space, clip):
+        with pytest.raises(ValueError):
+            PickScoreMetric(space, clip).mean_score([])

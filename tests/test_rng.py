@@ -1,0 +1,76 @@
+"""Tests for the deterministic RNG utilities."""
+
+import numpy as np
+import pytest
+
+from repro._rng import normalize, rng_for, seed_for, unit_vector
+
+
+class TestSeedFor:
+    def test_deterministic_across_calls(self):
+        assert seed_for("a", 1, 2.5) == seed_for("a", 1, 2.5)
+
+    def test_different_keys_differ(self):
+        assert seed_for("a") != seed_for("b")
+
+    def test_key_order_matters(self):
+        assert seed_for("a", "b") != seed_for("b", "a")
+
+    def test_int_vs_float_distinguished(self):
+        assert seed_for(1) != seed_for(1.0)
+
+    def test_concatenation_ambiguity_resolved(self):
+        # ("ab", "c") must not collide with ("a", "bc").
+        assert seed_for("ab", "c") != seed_for("a", "bc")
+
+    def test_bytes_keys_supported(self):
+        assert seed_for(b"raw") == seed_for(b"raw")
+
+    def test_returns_64_bit_value(self):
+        value = seed_for("anything")
+        assert 0 <= value < 2**64
+
+
+class TestRngFor:
+    def test_same_keys_same_stream(self):
+        a = rng_for("stream", 7).standard_normal(8)
+        b = rng_for("stream", 7).standard_normal(8)
+        assert np.allclose(a, b)
+
+    def test_different_keys_different_stream(self):
+        a = rng_for("stream", 7).standard_normal(8)
+        b = rng_for("stream", 8).standard_normal(8)
+        assert not np.allclose(a, b)
+
+
+class TestUnitVector:
+    def test_unit_norm(self):
+        vec = unit_vector(rng_for("uv"), 32)
+        assert np.isclose(np.linalg.norm(vec), 1.0)
+
+    def test_dimension(self):
+        assert unit_vector(rng_for("uv"), 17).shape == (17,)
+
+    def test_deterministic(self):
+        a = unit_vector(rng_for("uv", 1), 16)
+        b = unit_vector(rng_for("uv", 1), 16)
+        assert np.allclose(a, b)
+
+    def test_high_dim_vectors_nearly_orthogonal(self):
+        a = unit_vector(rng_for("uv", "x"), 256)
+        b = unit_vector(rng_for("uv", "y"), 256)
+        assert abs(float(a @ b)) < 0.3
+
+
+class TestNormalize:
+    def test_unit_output(self):
+        out = normalize(np.array([3.0, 4.0]))
+        assert np.isclose(np.linalg.norm(out), 1.0)
+
+    def test_zero_vector_passthrough(self):
+        zero = np.zeros(4)
+        assert np.allclose(normalize(zero), zero)
+
+    def test_direction_preserved(self):
+        vec = np.array([2.0, 0.0, 0.0])
+        assert np.allclose(normalize(vec), [1.0, 0.0, 0.0])

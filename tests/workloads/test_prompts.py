@@ -1,0 +1,124 @@
+"""Tests for prompt construction and session structure."""
+
+import numpy as np
+import pytest
+
+from repro._rng import rng_for
+from repro.embedding.space import cosine
+from repro.embedding.vocab import Vocabulary
+from repro.workloads.prompts import Prompt, PromptFactory, zipf_topic_sampler
+
+
+@pytest.fixture(scope="module")
+def factory(space, vocab):
+    return PromptFactory(space=space, vocab=vocab, namespace="test-ns")
+
+
+class TestPrompt:
+    def test_rejects_empty_id(self, space):
+        with pytest.raises(ValueError):
+            Prompt(
+                prompt_id="",
+                text="x",
+                tokens=("x",),
+                semantics=np.zeros(space.config.semantic_dim),
+                topic_id=0,
+                session_id="s",
+                user_id="u",
+            )
+
+    def test_rejects_matrix_semantics(self):
+        with pytest.raises(ValueError):
+            Prompt(
+                prompt_id="p",
+                text="x",
+                tokens=("x",),
+                semantics=np.zeros((2, 2)),
+                topic_id=0,
+                session_id="s",
+                user_id="u",
+            )
+
+
+class TestPromptFactory:
+    def test_dimension_mismatch_rejected(self, space):
+        with pytest.raises(ValueError):
+            PromptFactory(
+                space=space,
+                vocab=Vocabulary(dim=space.config.semantic_dim + 1),
+            )
+
+    def test_deterministic(self, factory):
+        a = factory.make_prompt(3, "s1", 0)
+        b = factory.make_prompt(3, "s1", 0)
+        assert a.text == b.text
+        assert np.allclose(a.semantics, b.semantics)
+
+    def test_semantics_unit_norm(self, factory):
+        prompt = factory.make_prompt(1, "s1", 0)
+        assert np.isclose(np.linalg.norm(prompt.semantics), 1.0)
+
+    def test_same_session_shares_core_tokens(self, factory):
+        session = factory.make_session(2, "sX", 4)
+        subjects = {p.tokens[0] for p in session}
+        styles = {p.tokens[1] for p in session}
+        assert len(subjects) == 1
+        assert len(styles) == 1
+
+    def test_iterations_vary_modifiers(self, factory):
+        session = factory.make_session(2, "sY", 6)
+        modifier_sets = {tuple(p.tokens[3:5]) for p in session}
+        assert len(modifier_sets) > 1
+
+    def test_within_session_semantics_tight(self, factory):
+        session = factory.make_session(5, "sZ", 5)
+        sims = [
+            cosine(session[0].semantics, p.semantics) for p in session[1:]
+        ]
+        assert min(sims) > 0.9
+
+    def test_cross_topic_semantics_loose(self, factory):
+        a = factory.make_prompt(0, "sa", 0)
+        b = factory.make_prompt(37, "sb", 0)
+        assert cosine(a.semantics, b.semantics) < 0.5
+
+    def test_session_tighter_than_topic(self, factory):
+        base = factory.make_prompt(7, "s-one", 0)
+        same_session = factory.make_prompt(7, "s-one", 1)
+        same_topic = factory.make_prompt(7, "s-two", 0)
+        assert cosine(base.semantics, same_session.semantics) > cosine(
+            base.semantics, same_topic.semantics
+        )
+
+    def test_invalid_session_length(self, factory):
+        with pytest.raises(ValueError):
+            factory.make_session(0, "s", 0)
+
+    def test_negative_iteration(self, factory):
+        with pytest.raises(ValueError):
+            factory.make_prompt(0, "s", -1)
+
+    def test_prompt_id_unique_per_iteration(self, factory):
+        ids = {p.prompt_id for p in factory.make_session(0, "s-ids", 5)}
+        assert len(ids) == 5
+
+    def test_text_joins_tokens(self, factory):
+        prompt = factory.make_prompt(0, "s-text", 0)
+        assert prompt.text == " ".join(prompt.tokens)
+
+
+class TestZipfSampler:
+    def test_head_heavier_than_tail(self):
+        sample = zipf_topic_sampler(100, 1.2, rng_for("zipf"))
+        draws = [sample() for _ in range(3000)]
+        head = sum(1 for d in draws if d < 10)
+        tail = sum(1 for d in draws if d >= 90)
+        assert head > 5 * max(1, tail)
+
+    def test_all_draws_in_range(self):
+        sample = zipf_topic_sampler(10, 1.0, rng_for("zipf2"))
+        assert all(0 <= sample() < 10 for _ in range(200))
+
+    def test_invalid_topic_count(self):
+        with pytest.raises(ValueError):
+            zipf_topic_sampler(0, 1.0, rng_for("z"))
