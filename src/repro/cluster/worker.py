@@ -86,8 +86,12 @@ class GPUWorker:
             load = job.model.load_time_s
             self.load_seconds += load
             self.energy_joules += load * self.gpu.idle_power_w
+            # The initial model load pays time and energy like any other,
+            # but only a genuine model *change* counts as a switch — the
+            # thrash metric the Global Monitor's PID damping targets.
+            if self.model_name is not None:
+                self.switches += 1
             self.model_name = job.model.name
-            self.switches += 1
             start += load
 
         service = job.model.service_time_s(self.gpu.name, job.steps)

@@ -151,13 +151,30 @@ class NirvanaSystem(BaseServingSystem):
     # Policy
     # ------------------------------------------------------------------
     def _handle_arrival(self, record: RequestRecord, now: float) -> None:
-        query = self._retrieval.query_embedding(record.prompt)
+        self._handle_arrivals([record], now)
+
+    def _handle_arrivals(
+        self, records: Sequence[RequestRecord], now: float
+    ) -> None:
+        # Same-tick arrivals score against the latent cache in one
+        # matrix-matrix product (the cache routes singleton batches
+        # through its exact matrix-vector path).
         latency = (
             self._embed_latency_s + self.cache.retrieval_latency_s()
         )
-        entry, similarity = self.cache.retrieve_for_model(
-            query, self._spec.name
+        queries = self._retrieval.query_embeddings(
+            [record.prompt for record in records]
         )
+        results = self.cache.retrieve_batch_for_model(
+            queries, self._spec.name
+        )
+        for record, (entry, similarity) in zip(records, results):
+            self._enqueue_decided(record, entry, similarity, latency, now)
+
+    def _enqueue_decided(
+        self, record: RequestRecord, entry, similarity, latency, now
+    ) -> None:
+        """Threshold one retrieval outcome and enqueue the record."""
         k = (
             self._selector.decide(similarity)
             if entry is not None
@@ -280,9 +297,25 @@ class PineconeSystem(BaseServingSystem):
             self.cache.insert(image, embedding, now=0.0)
 
     def _handle_arrival(self, record: RequestRecord, now: float) -> None:
-        query = self._retrieval.query_embedding(record.prompt)
+        self._handle_arrivals([record], now)
+
+    def _handle_arrivals(
+        self, records: Sequence[RequestRecord], now: float
+    ) -> None:
+        # Same-tick arrivals retrieve as one batched matrix product (the
+        # cache routes singleton batches through its matrix-vector path).
         latency = self._embed_latency_s + self.cache.retrieval_latency_s()
-        entry, similarity = self.cache.retrieve(query)
+        queries = self._retrieval.query_embeddings(
+            [record.prompt for record in records]
+        )
+        results = self.cache.retrieve_batch(queries)
+        for record, (entry, similarity) in zip(records, results):
+            self._enqueue_decided(record, entry, similarity, latency, now)
+
+    def _enqueue_decided(
+        self, record: RequestRecord, entry, similarity, latency, now
+    ) -> None:
+        """Serve from cache above threshold, else queue for full service."""
         if entry is not None and similarity >= self._serve_threshold:
             self.cache.record_hit(entry, now)
             self.stats.record_decision(now, hit=True, k=0)

@@ -2,8 +2,19 @@
 
 The MoDM cache stores *final images* plus their CLIP image embeddings — a
 model-agnostic representation retrievable by any model family (§3.1, §5.5).
-Maintenance is a FIFO sliding window by default (§5.4); a utility-based
-eviction policy is included as the ablation the paper argues against.
+Maintenance is a FIFO sliding window by default (§5.4); alternative
+policies (LRU, utility-based) are available through the eviction-policy
+registry, including the Nirvana-style utility eviction the paper argues
+against.
+
+Retrieval is one masked matrix-vector product followed by an ``argmax`` —
+O(n) with vectorized constants — instead of a full O(n log n) sort, which
+is what lets the scan stay at the paper's 0.05 s / 100k-entry budget as
+occupancy grows (§5.2).  Eviction bookkeeping is O(1) amortized (FIFO/LRU)
+or O(log n) (utility heap) via lazy tombstones, never an O(n) list scan.
+
+:class:`ShardedVectorCache` partitions the embedding matrix across shards
+with per-shard stats so capacity scales past one contiguous matrix.
 
 :class:`LatentCache` models what Nirvana stores instead: per-image stacks of
 intermediate latents that are heavier (~2.5 MB vs ~1.4 MB) and only usable
@@ -12,10 +23,21 @@ by the model that produced them.
 
 from __future__ import annotations
 
+import collections
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Generic, List, Optional, Tuple, TypeVar
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    Generic,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    TypeVar,
+)
 
 import numpy as np
 
@@ -24,8 +46,6 @@ from repro.diffusion.latent import CachedLatent, SyntheticImage
 #: Measured retrieval latency: 0.05 s against 100k cached embeddings (§5.2),
 #: scaling linearly with occupancy.
 RETRIEVAL_SECONDS_PER_ENTRY = 0.05 / 100_000
-
-_POLICIES = ("fifo", "utility")
 
 PayloadT = TypeVar("PayloadT")
 
@@ -47,16 +67,191 @@ class CacheEntry(Generic[PayloadT]):
         return self.payload
 
 
+# ----------------------------------------------------------------------
+# Eviction policies
+# ----------------------------------------------------------------------
+class EvictionPolicy:
+    """Decides which slot a full cache vacates next.
+
+    Implementations keep their own bookkeeping keyed by ``(entry_id, slot)``
+    and invalidate lazily: stale references (evicted or replaced entries)
+    are detected on access by comparing against the live entry table, so no
+    operation ever scans or removes from the middle of a container.
+    """
+
+    name = "base"
+
+    def on_insert(self, slot: int, entry: CacheEntry) -> None:
+        """Record a freshly inserted entry."""
+
+    def on_hit(self, slot: int, entry: CacheEntry) -> None:
+        """Record a confirmed cache hit against a live entry."""
+
+    def on_evict(self, slot: int, entry: CacheEntry) -> None:
+        """Forget an entry the cache just removed."""
+
+    def victim(
+        self, entries: Sequence[Optional[CacheEntry]]
+    ) -> int:
+        """Slot to evict next; ``entries`` is the live slot table."""
+        raise NotImplementedError
+
+
+#: Registry of eviction policies selectable by name (``config.cache_policy``).
+EVICTION_POLICIES: Dict[str, Type[EvictionPolicy]] = {}
+
+
+def register_eviction_policy(name: str):
+    """Class decorator adding an :class:`EvictionPolicy` to the registry."""
+
+    def decorate(cls: Type[EvictionPolicy]) -> Type[EvictionPolicy]:
+        cls.name = name
+        EVICTION_POLICIES[name] = cls
+        return cls
+
+    return decorate
+
+
+def make_eviction_policy(name: str) -> EvictionPolicy:
+    """Instantiate a registered policy; raises on unknown names."""
+    try:
+        cls = EVICTION_POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from "
+            f"{tuple(sorted(EVICTION_POLICIES))}"
+        ) from None
+    return cls()
+
+
+def _is_stale(
+    entries: Sequence[Optional[CacheEntry]], entry_id: int, slot: int
+) -> bool:
+    entry = entries[slot]
+    return entry is None or entry.entry_id != entry_id
+
+
+@register_eviction_policy("fifo")
+class FifoEviction(EvictionPolicy):
+    """Sliding window (§5.4): evict the oldest insertion.
+
+    A :class:`collections.deque` of ``(entry_id, slot)`` pairs, oldest at
+    the left.  Stale pairs (slots since reused) are lazy tombstones popped
+    on the way to the next victim — every operation is O(1) amortized.
+    """
+
+    def __init__(self) -> None:
+        self._queue: collections.deque = collections.deque()
+
+    def on_insert(self, slot: int, entry: CacheEntry) -> None:
+        self._queue.append((entry.entry_id, slot))
+
+    def victim(self, entries: Sequence[Optional[CacheEntry]]) -> int:
+        while self._queue:
+            entry_id, slot = self._queue[0]
+            if _is_stale(entries, entry_id, slot):
+                self._queue.popleft()
+                continue
+            return slot
+        raise RuntimeError("fifo policy asked for a victim on empty cache")
+
+
+@register_eviction_policy("lru")
+class LruEviction(EvictionPolicy):
+    """Evict the least recently *used* entry (hit or insert).
+
+    An ``OrderedDict`` keyed by slot, most recent at the right; hits
+    ``move_to_end`` in O(1).
+    """
+
+    def __init__(self) -> None:
+        self._order: "collections.OrderedDict[int, int]" = (
+            collections.OrderedDict()
+        )
+
+    def on_insert(self, slot: int, entry: CacheEntry) -> None:
+        self._order[slot] = entry.entry_id
+        self._order.move_to_end(slot)
+
+    def on_hit(self, slot: int, entry: CacheEntry) -> None:
+        if self._order.get(slot) == entry.entry_id:
+            self._order.move_to_end(slot)
+
+    def on_evict(self, slot: int, entry: CacheEntry) -> None:
+        self._order.pop(slot, None)
+
+    def victim(self, entries: Sequence[Optional[CacheEntry]]) -> int:
+        for slot, entry_id in self._order.items():
+            if not _is_stale(entries, entry_id, slot):
+                return slot
+        raise RuntimeError("lru policy asked for a victim on empty cache")
+
+
+@register_eviction_policy("utility")
+class UtilityEviction(EvictionPolicy):
+    """Evict the entry with the fewest hits, oldest breaking ties.
+
+    The Nirvana-style alternative §5.4 ablates.  A min-heap of
+    ``(hits, entry_id, slot)`` keys; every hit pushes an updated key and
+    the outdated one becomes a lazy tombstone, so eviction is O(log n)
+    amortized instead of an O(n) scan.  ``_current`` holds each slot's
+    authoritative key; whenever stale keys outnumber live ones the heap
+    is compacted, bounding it at O(live entries) even on hit-heavy runs
+    with rare evictions.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, int]] = []
+        self._current: Dict[int, Tuple[int, int]] = {}
+
+    def _push(self, slot: int, entry: CacheEntry) -> None:
+        self._current[slot] = (entry.hits, entry.entry_id)
+        heapq.heappush(self._heap, (entry.hits, entry.entry_id, slot))
+        if len(self._heap) > 2 * len(self._current) + 16:
+            self._heap = [
+                (hits, entry_id, s)
+                for s, (hits, entry_id) in self._current.items()
+            ]
+            heapq.heapify(self._heap)
+
+    def on_insert(self, slot: int, entry: CacheEntry) -> None:
+        self._push(slot, entry)
+
+    def on_hit(self, slot: int, entry: CacheEntry) -> None:
+        self._push(slot, entry)
+
+    def on_evict(self, slot: int, entry: CacheEntry) -> None:
+        self._current.pop(slot, None)
+
+    def victim(self, entries: Sequence[Optional[CacheEntry]]) -> int:
+        while self._heap:
+            hits, entry_id, slot = self._heap[0]
+            if self._current.get(slot) != (hits, entry_id):
+                heapq.heappop(self._heap)
+                continue
+            return slot
+        raise RuntimeError(
+            "utility policy asked for a victim on empty cache"
+        )
+
+
+# ----------------------------------------------------------------------
+# Vector cache
+# ----------------------------------------------------------------------
 class VectorCache(Generic[PayloadT]):
     """Fixed-capacity cache with cosine-similarity retrieval.
 
     Embeddings live in a preallocated matrix so retrieval is one matrix-
     vector product — mirroring the paper's GPU-resident embedding store
-    (100k embeddings fit in 0.29 GB; retrieval takes 0.05 s).
+    (100k embeddings fit in 0.29 GB; retrieval takes 0.05 s).  The best
+    match is a masked ``argmax`` over live slots, O(n) instead of the
+    O(n log n) full sort.
 
-    ``policy="fifo"`` implements the sliding window of §5.4;
-    ``policy="utility"`` evicts the entry with the fewest hits (oldest
-    breaking ties), the Nirvana-style alternative §5.4 ablates.
+    ``policy`` selects eviction from :data:`EVICTION_POLICIES`:
+    ``"fifo"`` implements the sliding window of §5.4, ``"lru"`` evicts the
+    least recently used entry, and ``"utility"`` evicts the entry with the
+    fewest hits (oldest breaking ties), the Nirvana-style alternative §5.4
+    ablates.
     """
 
     def __init__(
@@ -64,25 +259,25 @@ class VectorCache(Generic[PayloadT]):
         capacity: int,
         embed_dim: int,
         policy: str = "fifo",
+        _id_source: Optional[Iterator[int]] = None,
     ):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         if embed_dim < 1:
             raise ValueError("embed_dim must be >= 1")
-        if policy not in _POLICIES:
-            raise ValueError(
-                f"unknown policy {policy!r}; choose from {_POLICIES}"
-            )
         self._capacity = capacity
         self._embed_dim = embed_dim
-        self._policy = policy
+        self._policy_name = policy
+        self._policy = make_eviction_policy(policy)
         self._matrix = np.zeros((capacity, embed_dim))
+        self._live = np.zeros(capacity, dtype=bool)
         self._entries: List[Optional[CacheEntry[PayloadT]]] = (
             [None] * capacity
         )
-        self._fifo_order: List[int] = []  # slot ids, oldest first
         self._free_slots: List[int] = list(range(capacity - 1, -1, -1))
-        self._ids = itertools.count()
+        self._slot_of: Dict[int, int] = {}  # entry_id -> slot
+        self._ids = _id_source if _id_source is not None else itertools.count()
+        self.last_inserted: Optional[CacheEntry[PayloadT]] = None
         self.insertions = 0
         self.evictions = 0
         self.lookups = 0
@@ -96,7 +291,7 @@ class VectorCache(Generic[PayloadT]):
 
     @property
     def policy(self) -> str:
-        return self._policy
+        return self._policy_name
 
     def __len__(self) -> int:
         return self._capacity - len(self._free_slots)
@@ -148,26 +343,23 @@ class VectorCache(Generic[PayloadT]):
         )
         self._entries[slot] = entry
         self._matrix[slot] = entry.embedding
-        self._fifo_order.append(slot)
+        self._live[slot] = True
+        self._slot_of[entry.entry_id] = slot
+        self._policy.on_insert(slot, entry)
+        self.last_inserted = entry
         self.insertions += 1
         return evicted
 
     def _evict(self) -> CacheEntry[PayloadT]:
-        if self._policy == "fifo":
-            slot = self._fifo_order.pop(0)
-        else:  # utility: fewest hits, oldest first
-            live = [
-                (e.hits, e.entry_id, s)
-                for s, e in enumerate(self._entries)
-                if e is not None
-            ]
-            _, _, slot = min(live)
-            self._fifo_order.remove(slot)
+        slot = self._policy.victim(self._entries)
         entry = self._entries[slot]
         assert entry is not None
         self._entries[slot] = None
         self._matrix[slot] = 0.0
+        self._live[slot] = False
+        self._slot_of.pop(entry.entry_id, None)
         self._free_slots.append(slot)
+        self._policy.on_evict(slot, entry)
         self.evictions += 1
         return entry
 
@@ -183,11 +375,7 @@ class VectorCache(Generic[PayloadT]):
         the scheduler decides hit/miss after thresholding and then calls
         :meth:`record_hit`.
         """
-        if query.shape != (self._embed_dim,):
-            raise ValueError(
-                f"query must have shape ({self._embed_dim},), "
-                f"got {query.shape}"
-            )
+        self._check_query(query)
         self.lookups += 1
         if len(self) == 0:
             return None, 0.0
@@ -195,23 +383,321 @@ class VectorCache(Generic[PayloadT]):
         if qnorm == 0.0:
             return None, 0.0
         sims = self._matrix @ (query / qnorm)
-        # Embeddings are stored unit-norm by the encoders; empty slots are
-        # zero rows and can never win unless all sims are negative, so mask
-        # them explicitly.
-        for slot in np.argsort(sims)[::-1]:
+        # Mask dead slots (zero rows, sim exactly 0.0) so they can never
+        # shadow a live entry with a negative similarity.  A full cache —
+        # the steady state — has no dead slots and skips the masking pass.
+        if self._free_slots:
+            slot = int(np.argmax(np.where(self._live, sims, -np.inf)))
+        else:
+            slot = int(np.argmax(sims))
+        entry = self._entries[slot]
+        assert entry is not None
+        return entry, float(sims[slot])
+
+    def retrieve_topk(
+        self, query: np.ndarray, k: int
+    ) -> List[Tuple[CacheEntry[PayloadT], float]]:
+        """The ``k`` most-similar live entries, best first.
+
+        Uses ``argpartition`` — O(n + k log k), not a full sort.  Returns
+        fewer than ``k`` pairs when occupancy is below ``k``.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self._check_query(query)
+        self.lookups += 1
+        n_live = len(self)
+        if n_live == 0:
+            return []
+        qnorm = float(np.linalg.norm(query))
+        if qnorm == 0.0:
+            return []
+        sims = self._matrix @ (query / qnorm)
+        masked = (
+            np.where(self._live, sims, -np.inf)
+            if self._free_slots
+            else sims
+        )
+        k_eff = min(k, n_live)
+        if k_eff < masked.shape[0]:
+            top = np.argpartition(masked, -k_eff)[-k_eff:]
+        else:
+            top = np.arange(masked.shape[0])
+        top = top[np.argsort(masked[top])[::-1]][:k_eff]
+        out: List[Tuple[CacheEntry[PayloadT], float]] = []
+        for slot in top:
             entry = self._entries[int(slot)]
             if entry is not None:
-                return entry, float(sims[int(slot)])
-        return None, 0.0
+                out.append((entry, float(sims[int(slot)])))
+        return out
+
+    def retrieve_batch(
+        self, queries: np.ndarray
+    ) -> List[Tuple[Optional[CacheEntry[PayloadT]], float]]:
+        """Best match per row of ``queries`` via one matrix-matrix product.
+
+        The batched path the Request Scheduler uses for same-tick arrivals;
+        a single-row batch takes the exact matrix-vector path of
+        :meth:`retrieve` so singleton batches are bit-for-bit identical to
+        sequential calls.
+        """
+        if queries.ndim != 2 or queries.shape[1] != self._embed_dim:
+            raise ValueError(
+                f"queries must have shape (n, {self._embed_dim}), "
+                f"got {queries.shape}"
+            )
+        n = queries.shape[0]
+        if n == 1:
+            return [self.retrieve(queries[0])]
+        self.lookups += n
+        empty: Tuple[Optional[CacheEntry[PayloadT]], float] = (None, 0.0)
+        if len(self) == 0:
+            return [empty] * n
+        norms = np.linalg.norm(queries, axis=1)
+        safe = np.where(norms == 0.0, 1.0, norms)
+        sims = (queries / safe[:, None]) @ self._matrix.T
+        if self._free_slots:
+            best = np.argmax(
+                np.where(self._live[None, :], sims, -np.inf), axis=1
+            )
+        else:
+            best = np.argmax(sims, axis=1)
+        out: List[Tuple[Optional[CacheEntry[PayloadT]], float]] = []
+        for i in range(n):
+            if norms[i] == 0.0:
+                out.append(empty)
+                continue
+            slot = int(best[i])
+            entry = self._entries[slot]
+            assert entry is not None
+            out.append((entry, float(sims[i, slot])))
+        return out
 
     def record_hit(self, entry: CacheEntry[PayloadT], now: float) -> None:
         """Count a confirmed cache hit against ``entry``."""
         entry.hits += 1
         entry.last_hit_at = now
+        slot = self._slot_of.get(entry.entry_id)
+        if slot is not None:
+            self._policy.on_hit(slot, entry)
+
+    def _check_query(self, query: np.ndarray) -> None:
+        if query.shape != (self._embed_dim,):
+            raise ValueError(
+                f"query must have shape ({self._embed_dim},), "
+                f"got {query.shape}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Sharded cache
+# ----------------------------------------------------------------------
+class ShardedVectorCache(Generic[PayloadT]):
+    """Capacity partitioned across independent :class:`VectorCache` shards.
+
+    Insertions round-robin across shards, so each shard's eviction window
+    approximates a slice of the global one; retrieval scans every shard and
+    keeps the overall best.  Shards share one ``entry_id`` counter, so
+    :meth:`entries` still yields a global oldest-first order, and each
+    shard keeps its own insertion/eviction/lookup counters for
+    :meth:`shard_stats`.
+
+    Presents the same surface as :class:`VectorCache` (``insert`` /
+    ``retrieve`` / ``retrieve_topk`` / ``retrieve_batch`` /
+    ``record_hit`` / stats), so callers are shard-oblivious.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        embed_dim: int,
+        policy: str = "fifo",
+        n_shards: int = 4,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if n_shards > capacity:
+            raise ValueError("n_shards must not exceed capacity")
+        self._policy_name = policy
+        self._ids = itertools.count()
+        base, extra = divmod(capacity, n_shards)
+        self._shards: List[VectorCache[PayloadT]] = [
+            VectorCache(
+                capacity=base + (1 if i < extra else 0),
+                embed_dim=embed_dim,
+                policy=policy,
+                _id_source=self._ids,
+            )
+            for i in range(n_shards)
+        ]
+        self._embed_dim = embed_dim
+        self._next_shard = 0
+        self._shard_of: Dict[int, int] = {}  # entry_id -> shard index
+        self._lookups = 0  # logical queries (each fans out to all shards)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return sum(s.capacity for s in self._shards)
+
+    @property
+    def policy(self) -> str:
+        return self._policy_name
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def insertions(self) -> int:
+        return sum(s.insertions for s in self._shards)
+
+    @property
+    def evictions(self) -> int:
+        return sum(s.evictions for s in self._shards)
+
+    @property
+    def lookups(self) -> int:
+        """Logical queries served, matching the unsharded counter — one
+        per retrieve/topk call and one per batch row, not per shard scan
+        (per-shard scan counts live in :meth:`shard_stats`)."""
+        return self._lookups
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._shards)
+
+    def entries(self) -> List[CacheEntry[PayloadT]]:
+        """Live entries across all shards, oldest first."""
+        merged = [e for s in self._shards for e in s.entries()]
+        merged.sort(key=lambda e: e.entry_id)
+        return merged
+
+    def storage_bytes(self) -> int:
+        """Total payload storage across all shards."""
+        return sum(s.storage_bytes() for s in self._shards)
+
+    def retrieval_latency_s(self) -> float:
+        """Latency of one scan — shards scan in parallel, so the modelled
+        cost is the largest shard's occupancy, not the sum."""
+        return max(
+            s.retrieval_latency_s() for s in self._shards
+        )
+
+    def shard_stats(self) -> List[Dict[str, int]]:
+        """Per-shard occupancy and traffic counters."""
+        return [
+            {
+                "shard": i,
+                "capacity": s.capacity,
+                "size": len(s),
+                "insertions": s.insertions,
+                "evictions": s.evictions,
+                "lookups": s.lookups,
+            }
+            for i, s in enumerate(self._shards)
+        ]
+
+    # ------------------------------------------------------------------
+    # Mutation / retrieval
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        payload: PayloadT,
+        embedding: np.ndarray,
+        now: float,
+    ) -> Optional[CacheEntry[PayloadT]]:
+        """Round-robin insert; returns the evicted entry, if any."""
+        shard_idx = self._next_shard
+        self._next_shard = (self._next_shard + 1) % len(self._shards)
+        shard = self._shards[shard_idx]
+        evicted = shard.insert(payload, embedding, now)
+        if evicted is not None:
+            self._shard_of.pop(evicted.entry_id, None)
+        inserted = shard.last_inserted
+        assert inserted is not None
+        self._shard_of[inserted.entry_id] = shard_idx
+        return evicted
+
+    def retrieve(
+        self, query: np.ndarray
+    ) -> Tuple[Optional[CacheEntry[PayloadT]], float]:
+        """Overall best match across shards."""
+        self._lookups += 1
+        best: Tuple[Optional[CacheEntry[PayloadT]], float] = (None, 0.0)
+        for shard in self._shards:
+            entry, sim = shard.retrieve(query)
+            if entry is not None and (best[0] is None or sim > best[1]):
+                best = (entry, sim)
+        return best
+
+    def retrieve_topk(
+        self, query: np.ndarray, k: int
+    ) -> List[Tuple[CacheEntry[PayloadT], float]]:
+        """Global top-k: per-shard top-k merged and re-ranked."""
+        self._lookups += 1
+        merged: List[Tuple[CacheEntry[PayloadT], float]] = []
+        for shard in self._shards:
+            merged.extend(shard.retrieve_topk(query, k))
+        merged.sort(key=lambda pair: -pair[1])
+        return merged[:k]
+
+    def retrieve_batch(
+        self, queries: np.ndarray
+    ) -> List[Tuple[Optional[CacheEntry[PayloadT]], float]]:
+        """Per-row best match across shards."""
+        self._lookups += queries.shape[0]
+        per_shard = [s.retrieve_batch(queries) for s in self._shards]
+        out: List[Tuple[Optional[CacheEntry[PayloadT]], float]] = []
+        for i in range(queries.shape[0]):
+            best: Tuple[Optional[CacheEntry[PayloadT]], float] = (None, 0.0)
+            for results in per_shard:
+                entry, sim = results[i]
+                if entry is not None and (
+                    best[0] is None or sim > best[1]
+                ):
+                    best = (entry, sim)
+            out.append(best)
+        return out
+
+    def record_hit(self, entry: CacheEntry[PayloadT], now: float) -> None:
+        """Count a confirmed cache hit against ``entry`` in its shard."""
+        shard_idx = self._shard_of.get(entry.entry_id)
+        if shard_idx is None:
+            entry.hits += 1
+            entry.last_hit_at = now
+            return
+        self._shards[shard_idx].record_hit(entry, now)
 
 
 class ImageCache(VectorCache[SyntheticImage]):
     """MoDM's final-image cache (any model family can consume entries)."""
+
+
+class ShardedImageCache(ShardedVectorCache[SyntheticImage]):
+    """Sharded variant of :class:`ImageCache` for beyond-one-matrix scale."""
+
+
+def make_image_cache(
+    capacity: int,
+    embed_dim: int,
+    policy: str = "fifo",
+    n_shards: int = 1,
+):
+    """Build an image cache, sharded when ``n_shards > 1``."""
+    if n_shards <= 1:
+        return ImageCache(
+            capacity=capacity, embed_dim=embed_dim, policy=policy
+        )
+    return ShardedImageCache(
+        capacity=capacity,
+        embed_dim=embed_dim,
+        policy=policy,
+        n_shards=n_shards,
+    )
 
 
 class LatentCache(VectorCache[CachedLatent]):
@@ -229,3 +715,17 @@ class LatentCache(VectorCache[CachedLatent]):
         if entry is not None and not entry.payload.usable_by(model_name):
             return None, 0.0
         return entry, sim
+
+    def retrieve_batch_for_model(
+        self, queries: np.ndarray, model_name: str
+    ) -> List[Tuple[Optional[CacheEntry[CachedLatent]], float]]:
+        """Batched :meth:`retrieve_for_model` over rows of ``queries``."""
+        out = []
+        for entry, sim in self.retrieve_batch(queries):
+            if entry is not None and not entry.payload.usable_by(
+                model_name
+            ):
+                out.append((None, 0.0))
+            else:
+                out.append((entry, sim))
+        return out

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional, Tuple
 
+from repro.core.cache import EVICTION_POLICIES
 from repro.diffusion.registry import GPU_SPECS
 
 
@@ -54,6 +55,11 @@ class MoDMConfig:
     ``small_models`` is a preference-ordered tuple: the monitor serves with
     the first (highest-quality) small model whose capacity meets demand and
     falls back to faster ones under load (Fig. 10's SDXL -> SANA switch).
+
+    ``cache_policy`` selects eviction from the cache's policy registry
+    (``fifo`` — the paper's sliding window — ``lru``, or ``utility``);
+    ``cache_shards > 1`` partitions the embedding store across that many
+    shards for beyond-one-matrix capacity.
     """
 
     large_model: str = "sd3.5-large"
@@ -61,6 +67,7 @@ class MoDMConfig:
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     cache_capacity: int = 10_000
     cache_policy: str = "fifo"
+    cache_shards: int = 1
     cache_admission: CacheAdmission = CacheAdmission.ALL
     retrieval: str = "text-to-image"
     monitor_mode: MonitorMode = MonitorMode.THROUGHPUT
@@ -77,6 +84,15 @@ class MoDMConfig:
             raise ValueError("need at least one small model")
         if self.cache_capacity < 1:
             raise ValueError("cache_capacity must be >= 1")
+        if self.cache_policy not in EVICTION_POLICIES:
+            raise ValueError(
+                f"unknown cache_policy {self.cache_policy!r}; "
+                f"available: {sorted(EVICTION_POLICIES)}"
+            )
+        if not 1 <= self.cache_shards <= self.cache_capacity:
+            raise ValueError(
+                "cache_shards must be >= 1 and <= cache_capacity"
+            )
         if self.retrieval not in ("text-to-image", "text-to-text"):
             raise ValueError(
                 "retrieval must be 'text-to-image' or 'text-to-text'"

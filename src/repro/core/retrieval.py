@@ -13,7 +13,7 @@ prompt and the *index* embedding stored when an item enters the cache.
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import Protocol, Sequence
 
 import numpy as np
 
@@ -31,6 +31,11 @@ class RetrievalPolicy(Protocol):
 
     def query_embedding(self, prompt: PromptLike) -> np.ndarray:
         """Embedding of an incoming prompt."""
+
+    def query_embeddings(
+        self, prompts: Sequence[PromptLike]
+    ) -> np.ndarray:
+        """Stacked query embeddings, one row per prompt."""
 
     def index_embedding(
         self, prompt: PromptLike, image: ImageLike
@@ -58,6 +63,14 @@ class TextToImageRetrieval:
 
     def query_embedding(self, prompt: PromptLike) -> np.ndarray:
         return self._text_encoder.encode(prompt)
+
+    def query_embeddings(
+        self, prompts: Sequence[PromptLike]
+    ) -> np.ndarray:
+        """One (n, d) matrix for a same-tick arrival batch."""
+        return np.stack(
+            [self._text_encoder.encode(p) for p in prompts]
+        )
 
     def index_embedding(
         self, prompt: PromptLike, image: ImageLike
@@ -88,6 +101,14 @@ class TextToTextRetrieval:
 
     def query_embedding(self, prompt: PromptLike) -> np.ndarray:
         return self._semantic_text_embedding(prompt)
+
+    def query_embeddings(
+        self, prompts: Sequence[PromptLike]
+    ) -> np.ndarray:
+        """One (n, d) matrix for a same-tick arrival batch."""
+        return np.stack(
+            [self._semantic_text_embedding(p) for p in prompts]
+        )
 
     def index_embedding(
         self, prompt: PromptLike, image: ImageLike

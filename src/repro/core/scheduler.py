@@ -13,10 +13,10 @@ not to a worker.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence, Union
 
 from repro.cluster.stats import StatsCollector
-from repro.core.cache import ImageCache
+from repro.core.cache import ImageCache, ShardedImageCache
 from repro.core.config import CacheAdmission
 from repro.core.kselection import KSelector
 from repro.core.request import Decision
@@ -30,7 +30,7 @@ class RequestScheduler:
 
     def __init__(
         self,
-        cache: ImageCache,
+        cache: Union[ImageCache, ShardedImageCache],
         retrieval: RetrievalPolicy,
         selector: KSelector,
         stats: StatsCollector,
@@ -53,7 +53,7 @@ class RequestScheduler:
         self._embed_latency_s = embed_latency_s
 
     @property
-    def cache(self) -> ImageCache:
+    def cache(self) -> Union[ImageCache, ShardedImageCache]:
         return self._cache
 
     def bind_stats(self, stats: StatsCollector) -> None:
@@ -73,6 +73,35 @@ class RequestScheduler:
         query = self._retrieval.query_embedding(prompt)
         latency = self._embed_latency_s + self._cache.retrieval_latency_s()
         entry, similarity = self._cache.retrieve(query)
+        return self._finish_decision(entry, similarity, latency, now)
+
+    def decide_batch(
+        self, prompts: Sequence[PromptLike], now: float
+    ) -> List[Decision]:
+        """Classify a batch of same-tick arrivals in one matrix product.
+
+        Embeds every prompt, scores all of them against the cache as a
+        single matrix-matrix product, then thresholds each row — the
+        batched analogue of calling :meth:`decide` per prompt.  Scheduler
+        latency is still charged per request (each request pays its own
+        embed + scan).  A singleton batch flows through the cache's exact
+        matrix-vector path and is bit-identical to :meth:`decide`; larger
+        batches use the matrix-matrix BLAS kernel, whose similarities can
+        differ from the sequential ones in the last ulp.
+        """
+        if not prompts:
+            return []
+        queries = self._retrieval.query_embeddings(prompts)
+        latency = self._embed_latency_s + self._cache.retrieval_latency_s()
+        return [
+            self._finish_decision(entry, similarity, latency, now)
+            for entry, similarity in self._cache.retrieve_batch(queries)
+        ]
+
+    def _finish_decision(
+        self, entry, similarity: float, latency: float, now: float
+    ) -> Decision:
+        """Threshold one retrieval outcome and record its stats."""
         k = (
             self._selector.decide(similarity)
             if entry is not None

@@ -25,7 +25,7 @@ from repro.cluster.energy import EnergyMeter, EnergyReport
 from repro.cluster.events import EventLoop
 from repro.cluster.stats import StatsCollector
 from repro.cluster.worker import GPUWorker, Job
-from repro.core.cache import ImageCache
+from repro.core.cache import make_image_cache
 from repro.core.config import (
     CacheAdmission,
     ClusterConfig,
@@ -171,6 +171,19 @@ class BaseServingSystem:
         """Decide and enqueue one request (may complete it immediately)."""
         raise NotImplementedError
 
+    def _handle_arrivals(
+        self, records: Sequence[RequestRecord], now: float
+    ) -> None:
+        """Decide a batch of same-tick arrivals.
+
+        Systems with a vectorizable decision path (MoDM's batched
+        embed-and-score, Pinecone's batched retrieve) override this to
+        turn n same-tick arrivals into one matrix-matrix product; the
+        default just loops the single-arrival hook.
+        """
+        for record in records:
+            self._handle_arrival(record, now)
+
     def _next_work(
         self, worker: GPUWorker, now: float
     ) -> Optional[_WorkItem]:
@@ -209,6 +222,9 @@ class BaseServingSystem:
         """Serve ``trace`` to completion (or until the time horizon)."""
         self._reset_runtime()
         self._n_expected = len(trace)
+        # Group same-tick arrivals into one event so systems with a
+        # batched decision path score them as a single matrix product.
+        batch: List[RequestRecord] = []
         for request in trace:
             record = RequestRecord(
                 request_id=request.request_id,
@@ -216,10 +232,12 @@ class BaseServingSystem:
                 arrival_s=request.arrival_s,
             )
             self.records.append(record)
-            self.loop.schedule(
-                request.arrival_s,
-                lambda now, rec=record: self._arrive(rec, now),
-            )
+            if batch and batch[0].arrival_s != record.arrival_s:
+                self._schedule_arrivals(batch)
+                batch = []
+            batch.append(record)
+        if batch:
+            self._schedule_arrivals(batch)
         self._on_run_start()
         self.loop.run(until=until)
         makespan = max(
@@ -241,8 +259,16 @@ class BaseServingSystem:
             stats=self.stats,
         )
 
-    def _arrive(self, record: RequestRecord, now: float) -> None:
-        self._handle_arrival(record, now)
+    def _schedule_arrivals(self, batch: List[RequestRecord]) -> None:
+        self.loop.schedule(
+            batch[0].arrival_s,
+            lambda now, recs=tuple(batch): self._arrive_batch(recs, now),
+        )
+
+    def _arrive_batch(
+        self, records: Sequence[RequestRecord], now: float
+    ) -> None:
+        self._handle_arrivals(records, now)
         self._dispatch(now)
 
     def _schedule_queue_dispatch(self, record: RequestRecord) -> None:
@@ -370,10 +396,11 @@ class MoDMSystem(BaseServingSystem):
             retrieval = TextToImageRetrieval(space)
         else:
             retrieval = TextToTextRetrieval(space)
-        self.cache = ImageCache(
+        self.cache = make_image_cache(
             capacity=config.cache_capacity,
             embed_dim=retrieval.embed_dim,
             policy=config.cache_policy,
+            n_shards=config.cache_shards,
         )
         base_selector = selector or modm_default_selector()
         if config.threshold_shift:
@@ -481,14 +508,23 @@ class MoDMSystem(BaseServingSystem):
                 worker.target_model = allocation.small_model
 
     def _handle_arrival(self, record: RequestRecord, now: float) -> None:
-        decision = self.scheduler.decide(record.prompt, now)
-        record.decision = decision
-        record.enqueued_s = now + decision.scheduler_latency_s
-        if decision.hit:
-            self._hit_queue.append(record)
-        else:
-            self._miss_queue.append(record)
-        self._schedule_queue_dispatch(record)
+        self._handle_arrivals([record], now)
+
+    def _handle_arrivals(
+        self, records: Sequence[RequestRecord], now: float
+    ) -> None:
+        # Same-tick arrivals embed and score as one matrix-matrix product.
+        decisions = self.scheduler.decide_batch(
+            [record.prompt for record in records], now
+        )
+        for record, decision in zip(records, decisions):
+            record.decision = decision
+            record.enqueued_s = now + decision.scheduler_latency_s
+            if decision.hit:
+                self._hit_queue.append(record)
+            else:
+                self._miss_queue.append(record)
+            self._schedule_queue_dispatch(record)
 
     def _next_work(
         self, worker: GPUWorker, now: float
@@ -531,8 +567,12 @@ class MoDMSystem(BaseServingSystem):
     def _pop_ready(
         self, queue: Deque[RequestRecord], now: float
     ) -> Optional[RequestRecord]:
-        if queue and queue[0].enqueued_s <= now:
-            return queue.popleft()
+        # Scan past not-yet-ready records: one record still paying its
+        # scheduler latency must not starve ready records queued behind it.
+        for i, record in enumerate(queue):
+            if record.enqueued_s is not None and record.enqueued_s <= now:
+                del queue[i]
+                return record
         return None
 
     def _on_complete_image(self, record, image, now: float) -> None:

@@ -33,7 +33,7 @@ class TestConstruction:
 
     def test_invalid_policy(self):
         with pytest.raises(ValueError):
-            VectorCache(capacity=2, embed_dim=4, policy="lru")
+            VectorCache(capacity=2, embed_dim=4, policy="mru")
 
 
 class TestInsertRetrieve:

@@ -85,6 +85,79 @@ class TestDecide:
         assert cache.entries()[0].hits == 1
 
 
+class TestDecideBatch:
+    def _warmed(self, space, large_model, prompts, n=40):
+        retrieval = TextToImageRetrieval(space)
+        cache = ImageCache(capacity=200, embed_dim=retrieval.embed_dim)
+        stats = StatsCollector()
+        scheduler = RequestScheduler(
+            cache=cache,
+            retrieval=retrieval,
+            selector=modm_default_selector(),
+            stats=stats,
+            admission=CacheAdmission.ALL,
+            large_model_name="sd3.5-large",
+        )
+        for p in prompts[:n]:
+            scheduler.admit(
+                p, large_model.generate(p, seed="batch").image, now=0.0
+            )
+        return scheduler, stats
+
+    def test_empty_batch(self, scheduler_parts):
+        scheduler, _, _ = scheduler_parts
+        assert scheduler.decide_batch([], now=0.0) == []
+
+    def test_singleton_batch_matches_decide(
+        self, space, large_model, prompts
+    ):
+        # decide() leaves retrieval state untouched (only stats/hit
+        # counters move), so both paths can run on the same scheduler.
+        scheduler, _ = self._warmed(space, large_model, prompts)
+        d_seq = scheduler.decide(prompts[45], now=1.0)
+        [d_bat] = scheduler.decide_batch([prompts[45]], now=1.0)
+        assert (d_bat.hit, d_bat.k_steps, d_bat.similarity) == (
+            d_seq.hit,
+            d_seq.k_steps,
+            d_seq.similarity,
+        )
+
+    def test_batch_matches_sequential_decisions(
+        self, space, large_model, ddb_trace
+    ):
+        prompts = [r.prompt for r in ddb_trace]
+        scheduler, stats = self._warmed(space, large_model, prompts)
+        batch = prompts[40:60]
+        d_seq = [scheduler.decide(p, now=2.0) for p in batch]
+        hits_after_seq = stats.total_hits
+        misses_after_seq = stats.total_misses
+        d_bat = scheduler.decide_batch(batch, now=2.0)
+        assert len(d_bat) == len(d_seq)
+        for a, b in zip(d_seq, d_bat):
+            assert a.hit == b.hit
+            assert a.k_steps == b.k_steps
+            assert np.isclose(b.similarity, a.similarity, atol=1e-12)
+            assert a.scheduler_latency_s == b.scheduler_latency_s
+            if a.hit:
+                assert (
+                    b.retrieved_image.image_id
+                    == a.retrieved_image.image_id
+                )
+        assert stats.total_hits == 2 * hits_after_seq
+        assert stats.total_misses == 2 * misses_after_seq
+
+    def test_batch_records_cache_hits(
+        self, space, large_model, ddb_trace
+    ):
+        prompts = [r.prompt for r in ddb_trace]
+        scheduler, stats = self._warmed(space, large_model, prompts)
+        decisions = scheduler.decide_batch(prompts[40:60], now=2.0)
+        n_hits = sum(d.hit for d in decisions)
+        assert stats.total_hits == n_hits
+        cache_hits = sum(e.hits for e in scheduler.cache.entries())
+        assert cache_hits == n_hits
+
+
 class TestAdmission:
     def test_admission_none(self, space, large_model, prompts):
         retrieval = TextToImageRetrieval(space)

@@ -1,14 +1,18 @@
 """Tests for the MoDM serving system and its event-loop plumbing."""
 
+import collections
+
 import numpy as np
 import pytest
 
+from repro.core.cache import ShardedImageCache
 from repro.core.config import (
     CacheAdmission,
     ClusterConfig,
     MoDMConfig,
     MonitorMode,
 )
+from repro.core.request import RequestRecord
 from repro.core.serving import MoDMSystem
 from repro.diffusion.registry import get_model
 
@@ -161,6 +165,82 @@ class TestDispatchPolicy:
         report = system.run(trace)
         small_models_used = {a.small_model for a in report.allocations}
         assert "sana-1.6b" in small_models_used
+
+
+class TestPopReadyOrdering:
+    """Regression: one not-yet-ready record at the queue head must not
+    starve ready records enqueued behind it (head-of-line blocking)."""
+
+    def _record(self, prompts, request_id, enqueued_s):
+        record = RequestRecord(
+            request_id=request_id,
+            prompt=prompts[request_id],
+            arrival_s=0.0,
+        )
+        record.enqueued_s = enqueued_s
+        return record
+
+    def test_ready_record_behind_blocked_head_is_served(
+        self, space, prompts
+    ):
+        system = _system(space)
+        blocked = self._record(prompts, 0, enqueued_s=100.0)
+        ready = self._record(prompts, 1, enqueued_s=1.0)
+        queue = collections.deque([blocked, ready])
+        assert system._pop_ready(queue, now=5.0) is ready
+        assert list(queue) == [blocked]
+
+    def test_out_of_order_enqueued_served_in_ready_order(
+        self, space, prompts
+    ):
+        system = _system(space)
+        records = [
+            self._record(prompts, 0, enqueued_s=50.0),
+            self._record(prompts, 1, enqueued_s=5.0),
+            self._record(prompts, 2, enqueued_s=30.0),
+            self._record(prompts, 3, enqueued_s=2.0),
+        ]
+        queue = collections.deque(records)
+        # At t=10 only records 1 and 3 are ready, in queue order.
+        assert system._pop_ready(queue, now=10.0) is records[1]
+        assert system._pop_ready(queue, now=10.0) is records[3]
+        assert system._pop_ready(queue, now=10.0) is None
+        assert list(queue) == [records[0], records[2]]
+        # Once the head's latency elapses it is served normally.
+        assert system._pop_ready(queue, now=60.0) is records[0]
+        assert system._pop_ready(queue, now=60.0) is records[2]
+
+    def test_nothing_ready_returns_none(self, space, prompts):
+        system = _system(space)
+        queue = collections.deque(
+            [self._record(prompts, 0, enqueued_s=10.0)]
+        )
+        assert system._pop_ready(queue, now=0.0) is None
+        assert len(queue) == 1
+
+
+class TestShardedServing:
+    def test_sharded_cache_run_completes(self, space, small_trace):
+        system = _system(space, cache_shards=4)
+        assert isinstance(system.cache, ShardedImageCache)
+        report = system.run(small_trace)
+        assert report.n_completed == len(small_trace)
+        assert report.cache_size > 0
+        stats = system.cache.shard_stats()
+        assert len(stats) == 4
+        assert sum(s["size"] for s in stats) == report.cache_size
+
+    def test_sharded_matches_unsharded_closely(self, space, ddb_trace):
+        trace = ddb_trace.slice(100, 200).rebase()
+        warm = [r.prompt for r in ddb_trace.requests[:100]]
+        flat_sys = _system(space)
+        flat_sys.warm_cache(warm)
+        shard_sys = _system(space, cache_shards=4)
+        shard_sys.warm_cache(warm)
+        flat = flat_sys.run(trace)
+        sharded = shard_sys.run(trace)
+        # Same contents, same retrieval results -> same decisions.
+        assert sharded.hit_rate == flat.hit_rate
 
 
 class TestReportMetrics:

@@ -1,0 +1,83 @@
+"""Seed-trace regression: the retrieval-core rebuild must not change policy.
+
+The golden values in ``tests/data/seed_golden.json`` were captured from the
+pre-vectorization implementation (argsort retrieval, list-based FIFO).  The
+rebuilt core — masked argmax, eviction-policy registry, batched decisions —
+must reproduce the exact same ``ServingReport`` under the default ``fifo``
+policy: hit rate, k-rates, completion times, and every per-request
+hit/miss/similarity decision, bit for bit.
+"""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.core.config import ClusterConfig, MoDMConfig
+from repro.core.serving import MoDMSystem
+from repro.workloads import DiffusionDBConfig, diffusiondb_trace
+
+_GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "data", "seed_golden.json"
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(_GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def report(space):
+    trace = diffusiondb_trace(
+        space,
+        DiffusionDBConfig(n_requests=300, seed="seed-regression"),
+    )
+    system = MoDMSystem(
+        space,
+        MoDMConfig(
+            cluster=ClusterConfig(gpu_name="MI210", n_workers=4),
+            cache_capacity=200,
+            small_models=("sdxl",),
+        ),
+    )
+    system.warm_cache([r.prompt for r in trace.requests[:60]])
+    return system.run(trace.slice(60, 300).rebase())
+
+
+class TestSeedTraceUnchanged:
+    def test_hit_rate(self, report, golden):
+        assert report.hit_rate == golden["hit_rate"]
+
+    def test_k_rates(self, report, golden):
+        assert {
+            str(k): v for k, v in report.k_rates().items()
+        } == golden["k_rates"]
+
+    def test_completion_times(self, report, golden):
+        assert report.n_completed == golden["n_completed"]
+        times = sorted(report.completion_times())
+        digest = hashlib.sha256(
+            json.dumps([round(float(t), 6) for t in times]).encode()
+        ).hexdigest()
+        assert digest == golden["completion_times_sha"]
+        assert float(report.completion_times().sum()) == pytest.approx(
+            golden["completion_times_sum"], rel=0, abs=1e-6
+        )
+
+    def test_per_request_decisions_bit_for_bit(self, report, golden):
+        decisions = [
+            (
+                r.request_id,
+                r.decision.hit,
+                r.decision.k_steps,
+                round(r.decision.similarity, 9),
+            )
+            for r in report.records
+        ]
+        digest = hashlib.sha256(
+            json.dumps(decisions).encode()
+        ).hexdigest()
+        assert digest == golden["decision_sha"]
