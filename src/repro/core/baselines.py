@@ -63,6 +63,9 @@ class VanillaSystem(BaseServingSystem):
         record.enqueued_s = now
         self._queue.append(record)
 
+    def _has_ready_work(self, now: float) -> bool:
+        return bool(self._queue)
+
     def _next_work(self, worker, now: float) -> Optional[_WorkItem]:
         if not self._queue:
             return None
@@ -210,6 +213,10 @@ class NirvanaSystem(BaseServingSystem):
         self._queue.append(record)
         self._schedule_queue_dispatch(record)
 
+    def _has_ready_work(self, now: float) -> bool:
+        # FIFO with head-of-line semantics: ready iff the head is ready.
+        return bool(self._queue) and self._queue[0].enqueued_s <= now
+
     def _next_work(self, worker, now: float) -> Optional[_WorkItem]:
         if not self._queue or self._queue[0].enqueued_s > now:
             return None
@@ -344,6 +351,10 @@ class PineconeSystem(BaseServingSystem):
         record.enqueued_s = now + latency
         self._queue.append(record)
         self._schedule_queue_dispatch(record)
+
+    def _has_ready_work(self, now: float) -> bool:
+        # FIFO with head-of-line semantics: ready iff the head is ready.
+        return bool(self._queue) and self._queue[0].enqueued_s <= now
 
     def _next_work(self, worker, now: float) -> Optional[_WorkItem]:
         if not self._queue or self._queue[0].enqueued_s > now:

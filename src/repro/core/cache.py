@@ -26,6 +26,7 @@ from __future__ import annotations
 import collections
 import heapq
 import itertools
+import math
 from dataclasses import dataclass
 from typing import (
     Dict,
@@ -379,7 +380,10 @@ class VectorCache(Generic[PayloadT]):
         self.lookups += 1
         if len(self) == 0:
             return None, 0.0
-        qnorm = float(np.linalg.norm(query))
+        # sqrt(dot) is exactly what np.linalg.norm computes for 1-D floats,
+        # without the linalg dispatch overhead (hot path: one call per
+        # scheduler decision).
+        qnorm = math.sqrt(float(np.dot(query, query)))
         if qnorm == 0.0:
             return None, 0.0
         sims = self._matrix @ (query / qnorm)
@@ -409,7 +413,7 @@ class VectorCache(Generic[PayloadT]):
         n_live = len(self)
         if n_live == 0:
             return []
-        qnorm = float(np.linalg.norm(query))
+        qnorm = math.sqrt(float(np.dot(query, query)))
         if qnorm == 0.0:
             return []
         sims = self._matrix @ (query / qnorm)

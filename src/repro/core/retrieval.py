@@ -13,11 +13,12 @@ prompt and the *index* embedding stored when an item enters the cache.
 
 from __future__ import annotations
 
-from typing import Protocol, Sequence
+import math
+from typing import Dict, Protocol, Sequence
 
 import numpy as np
 
-from repro._rng import normalize
+from repro._rng import directions, normalize
 from repro.embedding.image_encoder import ClipLikeImageEncoder, ImageLike
 from repro.embedding.space import SemanticSpace
 from repro.embedding.text_encoder import ClipLikeTextEncoder, PromptLike
@@ -68,9 +69,7 @@ class TextToImageRetrieval:
         self, prompts: Sequence[PromptLike]
     ) -> np.ndarray:
         """One (n, d) matrix for a same-tick arrival batch."""
-        return np.stack(
-            [self._text_encoder.encode(p) for p in prompts]
-        )
+        return self._text_encoder.encode_batch(prompts)
 
     def index_embedding(
         self, prompt: PromptLike, image: ImageLike
@@ -94,6 +93,10 @@ class TextToTextRetrieval:
         self._space = space
         self._text_encoder = ClipLikeTextEncoder(space)
         self.embed_dim = space.config.embed_dim
+        # Query and index embeddings of one prompt are the same vector
+        # here, and both sides of the policy ask for it (arrival + cache
+        # admission) — memoize per prompt_id like the text encoder does.
+        self._semantic_cache: Dict[str, np.ndarray] = {}
 
     @property
     def text_encoder(self) -> ClipLikeTextEncoder:
@@ -105,10 +108,46 @@ class TextToTextRetrieval:
     def query_embeddings(
         self, prompts: Sequence[PromptLike]
     ) -> np.ndarray:
-        """One (n, d) matrix for a same-tick arrival batch."""
-        return np.stack(
-            [self._semantic_text_embedding(p) for p in prompts]
+        """One (n, d) matrix for a same-tick arrival batch.
+
+        Cached rows are gathered; the rest project and renormalize as one
+        vectorized pass (row norms use the scalar path's exact
+        ``sqrt(dot)`` so batches stay bit-identical to sequential calls).
+        """
+        n = len(prompts)
+        if n == 0:
+            return np.zeros((0, self.embed_dim))
+        out = np.zeros((n, self.embed_dim))
+        cache = self._semantic_cache if directions.enabled else None
+        fresh = []
+        for i, prompt in enumerate(prompts):
+            hit = cache.get(prompt.prompt_id) if cache is not None else None
+            if hit is not None:
+                out[i] = hit
+            else:
+                fresh.append(i)
+        if not fresh:
+            return out
+        full = self._text_encoder.encode_batch(
+            [prompts[i] for i in fresh]
         )
+        sdim = self._space.config.semantic_dim
+        sem = full[:, :sdim].copy()
+        for r in range(sem.shape[0]):
+            row = sem[r]
+            norm = math.sqrt(float(np.dot(row, row)))
+            if norm != 0.0:
+                row /= norm
+        for r, i in enumerate(fresh):
+            out[i, :sdim] = sem[r]
+            if cache is not None:
+                # Cache an owned copy, not a view of `out`: callers hold
+                # the (writable) batch matrix and a view would let them
+                # mutate the cached embedding in place.
+                cached = out[i].copy()
+                cached.flags.writeable = False
+                cache[prompts[i].prompt_id] = cached
+        return out
 
     def index_embedding(
         self, prompt: PromptLike, image: ImageLike
@@ -118,8 +157,16 @@ class TextToTextRetrieval:
         return self._semantic_text_embedding(prompt)
 
     def _semantic_text_embedding(self, prompt: PromptLike) -> np.ndarray:
+        cache = self._semantic_cache if directions.enabled else None
+        if cache is not None:
+            hit = cache.get(prompt.prompt_id)
+            if hit is not None:
+                return hit
         full = self._text_encoder.encode(prompt)
         semantic = normalize(self._space.project(full))
         out = np.zeros(self.embed_dim)
         out[: semantic.shape[0]] = semantic
+        if cache is not None:
+            out.flags.writeable = False
+            cache[prompt.prompt_id] = out
         return out

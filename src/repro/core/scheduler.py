@@ -91,6 +91,11 @@ class RequestScheduler:
         """
         if not prompts:
             return []
+        if len(prompts) == 1:
+            # Singleton batches are the common case on real traces; the
+            # sequential path is bit-identical and skips the batch-matrix
+            # assembly entirely.
+            return [self.decide(prompts[0], now)]
         queries = self._retrieval.query_embeddings(prompts)
         latency = self._embed_latency_s + self._cache.retrieval_latency_s()
         return [

@@ -19,12 +19,13 @@ Implements the two generation paths MoDM's workers execute:
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro._rng import normalize, rng_for, seed_for, unit_vector
+from repro._rng import directions, normalize, seed_for
 from repro.diffusion.latent import SyntheticImage
 from repro.diffusion.registry import ModelSpec
 from repro.diffusion.schedule import NoiseSchedule
@@ -39,6 +40,41 @@ _SET_STREAM = "set-shift"
 _IMAGE_STREAM = "image-noise"
 _GENERIC_STREAM = "generic-direction"
 _JITTER_STREAM = "alignment-jitter"
+
+_MEMO_MAX = 150_000
+
+#: Memoized target/artifact directions and finished image contents,
+#: shared process-wide.  All are pure functions of their keys: the key
+#: prefix pins the full spec parametrization (via its digest) and the
+#: space geometry; prompt ids pin prompt content by the workload contract
+#: (a prompt id identifies one immutable prompt); refine keys additionally
+#: pin the source image's *content bytes*, because a refined image's id
+#: does not encode the skip depth that produced it, so the same source id
+#: can carry different content under different serving configs.  The
+#: caches survive across system instances — the regime where they pay
+#: off: experiment suites drive the same trace through several serving
+#: systems and replays, and every system re-renders the same prompts.
+_TARGET_CACHE: Dict[Tuple, np.ndarray] = {}
+_ARTIFACT_CACHE: Dict[Tuple, np.ndarray] = {}
+_CONTENT_CACHE: Dict[Tuple, np.ndarray] = {}
+
+
+def clear_model_memos() -> None:
+    """Drop every process-wide model memo (targets, artifacts, contents).
+
+    Benchmarks call this to measure cold-start behaviour; correctness
+    never depends on it (all memoized values are pure).
+    """
+    _TARGET_CACHE.clear()
+    _ARTIFACT_CACHE.clear()
+    _CONTENT_CACHE.clear()
+
+
+def _memo_store(cache: Dict[Tuple, np.ndarray], key: Tuple, value: np.ndarray) -> None:
+    value.flags.writeable = False
+    if len(cache) >= _MEMO_MAX:
+        cache.clear()
+    cache[key] = value
 
 
 @dataclass(frozen=True)
@@ -71,13 +107,31 @@ class DiffusionModelSim:
         # the same id must have identical content).
         self._spec_digest = f"{seed_for(repr(spec)):016x}"[:8]
         semantic_dim = space.config.semantic_dim
-        self._fingerprint = unit_vector(
-            rng_for(_FINGERPRINT_STREAM, spec.family, spec.name),
-            semantic_dim,
+        self._fingerprint = directions.unit(
+            semantic_dim, _FINGERPRINT_STREAM, spec.family, spec.name
         )
-        self._generic_direction = unit_vector(
-            rng_for(_GENERIC_STREAM, space.config.seed), semantic_dim
+        self._generic_direction = directions.unit(
+            semantic_dim, _GENERIC_STREAM, space.config.seed
         )
+        # Spec-fixed scalars of the target construction, hoisted off the
+        # per-generation path (bit-identical: np.sqrt and math.sqrt are
+        # both correctly rounded).
+        self._artifact_scale = math.sqrt(
+            max(0.0, 1.0 - spec.alignment**2)
+        )
+        self._idiosyncratic_weight = math.sqrt(
+            max(0.0, 1.0 - spec.fingerprint**2)
+        )
+        # Memoized pure results (keys recur across systems and suites).
+        # The key prefix pins the full spec parametrization and the space
+        # geometry, so differently-configured sims never collide.  Both
+        # pins are interned strings: their hashes are cached, keeping the
+        # per-lookup cost flat.
+        self._memo_prefix = (
+            self._spec_digest,
+            f"{seed_for(repr(space.config)):016x}",
+        )
+        self._retention_cache: Dict[int, float] = {}
 
     @property
     def spec(self) -> ModelSpec:
@@ -117,6 +171,17 @@ class DiffusionModelSim:
         artifacts — so FID stays governed by ``realism``.
         """
         spec = self._spec
+        cache_key: Optional[Tuple] = None
+        if directions.enabled:
+            cache_key = self._memo_prefix + (
+                prompt.prompt_id,
+                seed,
+                alignment,
+                realism,
+            )
+            cached = _TARGET_CACHE.get(cache_key)
+            if cached is not None:
+                return cached
         dim = self._space.config.semantic_dim
         mixture = prompt_mixture(self._space, prompt)
         if alignment is None:
@@ -124,51 +189,59 @@ class DiffusionModelSim:
         if realism is None:
             realism = spec.realism
         if spec.alignment_jitter > 0.0:
-            jitter_rng = rng_for(
+            jitter = directions.normal(
                 _JITTER_STREAM, spec.name, prompt.prompt_id, seed
             )
-            alignment = float(
-                np.clip(
-                    alignment
-                    + spec.alignment_jitter * jitter_rng.standard_normal(),
-                    0.05,
-                    0.98,
-                )
-            )
+            drawn = alignment + spec.alignment_jitter * jitter
+            # Same clamp as np.clip(drawn, 0.05, 0.98).
+            alignment = min(max(drawn, 0.05), 0.98)
         # The model's intrinsic artifact budget is fixed by its standalone
         # alignment; any further alignment loss becomes generic content.
-        artifact_scale = float(
-            np.sqrt(max(0.0, 1.0 - spec.alignment**2))
-        )
-        deficit_scale = float(
-            np.sqrt(
-                max(0.0, 1.0 - alignment**2 - artifact_scale**2)
-            )
+        artifact_scale = self._artifact_scale
+        deficit_scale = math.sqrt(
+            max(0.0, 1.0 - alignment**2 - artifact_scale**2)
         )
 
-        natural = unit_vector(
-            rng_for(_NAT_STREAM, self._space.config.seed, prompt.prompt_id),
-            dim,
+        natural = directions.unit(
+            dim, _NAT_STREAM, self._space.config.seed, prompt.prompt_id
         )
-        idiosyncratic = unit_vector(
-            rng_for(_MODEL_STREAM, spec.name, prompt.prompt_id), dim
+        # The artifact direction is pure in (model, prompt); it recurs when
+        # the same prompt is rendered again (ground-truth sets, baseline
+        # comparisons over one trace, repeated experiment runs).
+        artifact_key = (
+            self._memo_prefix + (prompt.prompt_id,)
+            if directions.enabled
+            else None
         )
-        artifact = normalize(
-            spec.fingerprint * self._fingerprint
-            + float(np.sqrt(max(0.0, 1.0 - spec.fingerprint**2)))
-            * idiosyncratic
+        artifact = (
+            _ARTIFACT_CACHE.get(artifact_key)
+            if artifact_key is not None
+            else None
         )
+        if artifact is None:
+            idiosyncratic = directions.unit(
+                dim, _MODEL_STREAM, spec.name, prompt.prompt_id
+            )
+            artifact = normalize(
+                spec.fingerprint * self._fingerprint
+                + self._idiosyncratic_weight * idiosyncratic
+            )
+            if artifact_key is not None:
+                _memo_store(_ARTIFACT_CACHE, artifact_key, artifact)
         residual = normalize(
             realism * natural + (1.0 - realism) * artifact
         )
 
-        set_drift = unit_vector(rng_for(_SET_STREAM, spec.name, seed), dim)
-        return normalize(
+        set_drift = directions.unit(dim, _SET_STREAM, spec.name, seed)
+        target = normalize(
             alignment * mixture
             + artifact_scale * residual
             + deficit_scale * natural
             + spec.set_shift * set_drift
         )
+        if cache_key is not None:
+            _memo_store(_TARGET_CACHE, cache_key, target)
+        return target
 
     def refinement_target(
         self,
@@ -216,9 +289,20 @@ class DiffusionModelSim:
         created_at: float = 0.0,
     ) -> GenerationResult:
         """Full ``T``-step generation from pure noise (cache-miss path)."""
-        target = self.target_content(prompt, seed)
         image_id = self._next_image_id(prompt.prompt_id, seed)
-        content = self._finish(target, image_id)
+        content_key: Optional[Tuple] = None
+        content: Optional[np.ndarray] = None
+        if directions.enabled:
+            # The finished content is pure in (spec, space, prompt, seed,
+            # image id) — the id pins prompt and seed, plus the per-sim
+            # sequence position that keys the sampling noise.
+            content_key = self._memo_prefix + (image_id,)
+            content = _CONTENT_CACHE.get(content_key)
+        if content is None:
+            target = self.target_content(prompt, seed)
+            content = self._finish(target, image_id)
+            if content_key is not None:
+                _memo_store(_CONTENT_CACHE, content_key, content)
         image = SyntheticImage(
             image_id=image_id,
             prompt_id=prompt.prompt_id,
@@ -256,31 +340,59 @@ class DiffusionModelSim:
             raise ValueError(
                 f"skipped_steps must be in [0, {total}], got {skipped_steps}"
             )
-        retention = self._schedule.structure_retention(skipped_steps)
-        target = self.refinement_target(
-            prompt, seed, structure_retention=retention
-        )
-        anchor = self._anchor_weight(retention)
-        blend = normalize(
-            anchor * normalize(source.content) + (1.0 - anchor) * target
-        )
-
         image_id = self._next_image_id(
             prompt.prompt_id, seed, source_id=source.image_id
         )
-
-        # Under-refinement: with few remaining steps, residual noise from
-        # the Eq. 2 re-noising survives into the output.  The residue is
-        # image-specific (it is leftover sampling noise), so it attenuates
-        # prompt alignment without shifting the population mean.
-        drift = self._spec.skip_penalty * (skipped_steps / total)
-        if drift > 0.0:
-            residue = unit_vector(
-                rng_for(_GENERIC_STREAM, self._spec.name, image_id),
-                self._space.config.semantic_dim,
+        content_key: Optional[Tuple] = None
+        content: Optional[np.ndarray] = None
+        if directions.enabled:
+            # Pure in (spec, space, prompt+seed+sequence via image id,
+            # skip depth, source content).  The source's content *bytes*
+            # are part of the key: a refined image's id does not encode
+            # the skip depth that produced it, so the same source id can
+            # carry different content under different serving configs.
+            content_key = self._memo_prefix + (
+                image_id,
+                skipped_steps,
+                source.content.tobytes(),
             )
-            blend = normalize((1.0 - drift) * blend + drift * residue)
-        content = self._finish(blend, image_id)
+            content = _CONTENT_CACHE.get(content_key)
+        if content is None:
+            retention = self._retention_cache.get(skipped_steps)
+            if retention is None:
+                retention = self._schedule.structure_retention(
+                    skipped_steps
+                )
+                self._retention_cache[skipped_steps] = retention
+            target = self.refinement_target(
+                prompt, seed, structure_retention=retention
+            )
+            anchor = self._anchor_weight(retention)
+            blend = normalize(
+                anchor * normalize(source.content)
+                + (1.0 - anchor) * target
+            )
+
+            # Under-refinement: with few remaining steps, residual noise
+            # from the Eq. 2 re-noising survives into the output.  The
+            # residue is image-specific (it is leftover sampling noise),
+            # so it attenuates prompt alignment without shifting the
+            # population mean.
+            drift = self._spec.skip_penalty * (skipped_steps / total)
+            if drift > 0.0:
+                # Never memoized: the image-id key is unique per run, and
+                # replays short-circuit on the content memo above, so a
+                # DirectionCache entry would be write-only pollution.
+                residue = directions.fresh_unit(
+                    self._space.config.semantic_dim,
+                    _GENERIC_STREAM,
+                    self._spec.name,
+                    image_id,
+                )
+                blend = normalize((1.0 - drift) * blend + drift * residue)
+            content = self._finish(blend, image_id)
+            if content_key is not None:
+                _memo_store(_CONTENT_CACHE, content_key, content)
         steps_run = total - skipped_steps
         image = SyntheticImage(
             image_id=image_id,
@@ -312,10 +424,18 @@ class DiffusionModelSim:
         return float(np.clip(weight, 0.0, 0.97))
 
     def _finish(self, direction: np.ndarray, image_id: str) -> np.ndarray:
-        """Apply per-image sampling noise and return the final content."""
-        noise = unit_vector(
-            rng_for(_IMAGE_STREAM, self._spec.name, image_id),
+        """Apply per-image sampling noise and return the final content.
+
+        The noise draw is deliberately *not* memoized: image-id keys are
+        unique within a run, and replays hit the finished-content memo
+        before ever reaching this method, so caching the draw would only
+        fill the DirectionCache with write-only entries.
+        """
+        noise = directions.fresh_unit(
             self._space.config.semantic_dim,
+            _IMAGE_STREAM,
+            self._spec.name,
+            image_id,
         )
         return normalize(direction + self._spec.image_noise * noise)
 

@@ -13,6 +13,7 @@ Flow-matching models (SD3.5-Large, FLUX) use a linear sigma ramp; a cosine
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Tuple
 
@@ -45,9 +46,14 @@ class NoiseSchedule:
                 f"unknown schedule kind {self.kind!r}; choose from {_KINDS}"
             )
 
-    @property
+    @functools.cached_property
     def sigmas(self) -> np.ndarray:
-        """Noise scales ``sigma_t`` for ``t = 0 .. T`` (length ``T + 1``)."""
+        """Noise scales ``sigma_t`` for ``t = 0 .. T`` (length ``T + 1``).
+
+        Computed once per schedule and shared read-only — ``sigma_at`` sits
+        on the refinement hot path, and rebuilding the ramp per lookup was
+        measurable there.
+        """
         t = np.arange(self.total_steps + 1) / self.total_steps
         if self.kind == "flow":
             sig = 1.0 - t
@@ -56,6 +62,7 @@ class NoiseSchedule:
         # Pin the endpoints exactly: sigma_0 = 1, sigma_T = 0.
         sig[0] = 1.0
         sig[-1] = 0.0
+        sig.flags.writeable = False
         return sig
 
     def sigma_at(self, step: int) -> float:

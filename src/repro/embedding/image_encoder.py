@@ -13,7 +13,7 @@ from typing import Dict, Optional, Protocol, Sequence
 
 import numpy as np
 
-from repro._rng import normalize, rng_for, unit_vector
+from repro._rng import directions, normalize
 from repro.embedding.space import SemanticSpace
 
 
@@ -29,6 +29,15 @@ class ImageLike(Protocol):
     content: np.ndarray
 
 
+#: Process-wide embedding memo shared by caching encoder instances.  Keys
+#: pin the space geometry, the image id (which seeds the deterministic
+#: encoder perturbation), and the image's content *bytes* — a refined
+#: image's id does not encode the skip depth that produced it, so the
+#: same id can carry different content under different serving configs.
+_EMBED_MEMO: Dict[tuple, np.ndarray] = {}
+_EMBED_MEMO_MAX = 300_000
+
+
 class ClipLikeImageEncoder:
     """Deterministic image encoder over a :class:`SemanticSpace`."""
 
@@ -40,6 +49,7 @@ class ClipLikeImageEncoder:
         self._cache: Optional[Dict[str, np.ndarray]] = (
             {} if cache_embeddings else None
         )
+        self._memo_key = f"image/{space.config!r}"
 
     @property
     def space(self) -> SemanticSpace:
@@ -51,13 +61,29 @@ class ClipLikeImageEncoder:
 
     def encode(self, image: ImageLike) -> np.ndarray:
         """Embed one image; results are cached by ``image_id``."""
+        memo_key = None
         if self._cache is not None:
             hit = self._cache.get(image.image_id)
             if hit is not None:
                 return hit
+            if directions.enabled:
+                memo_key = (
+                    self._memo_key,
+                    image.image_id,
+                    image.content.tobytes(),
+                )
+                hit = _EMBED_MEMO.get(memo_key)
+                if hit is not None:
+                    self._cache[image.image_id] = hit
+                    return hit
         embedding = self._encode_content(image.content, image.image_id)
         if self._cache is not None:
             self._cache[image.image_id] = embedding
+            if memo_key is not None:
+                embedding.flags.writeable = False
+                if len(_EMBED_MEMO) >= _EMBED_MEMO_MAX:
+                    _EMBED_MEMO.clear()
+                _EMBED_MEMO[memo_key] = embedding
         return embedding
 
     def encode_batch(self, images: Sequence[ImageLike]) -> np.ndarray:
@@ -75,8 +101,11 @@ class ClipLikeImageEncoder:
             )
         semantic = normalize(content)
         if cfg.image_encoder_noise > 0.0:
-            rng = rng_for(self._NOISE_STREAM, cfg.seed, key)
-            noise = unit_vector(rng, cfg.semantic_dim)
+            # Not memoized: image-id keys are unique within a run, and
+            # replays hit the embedding memo before reaching this draw.
+            noise = directions.fresh_unit(
+                cfg.semantic_dim, self._NOISE_STREAM, cfg.seed, key
+            )
             semantic = normalize(
                 semantic + cfg.image_encoder_noise * noise
             )
@@ -84,5 +113,14 @@ class ClipLikeImageEncoder:
         return normalize(scaled + self._anchor)
 
     def clear_cache(self) -> None:
+        """Drop this instance's cache and its space's shared memo entries.
+
+        Only entries for this encoder's space geometry are removed from
+        the process-wide memo; other spaces' embeddings stay warm.
+        """
         if self._cache is not None:
             self._cache.clear()
+            for key in [
+                k for k in _EMBED_MEMO if k[0] == self._memo_key
+            ]:
+                del _EMBED_MEMO[key]

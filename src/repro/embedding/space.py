@@ -95,6 +95,11 @@ class SemanticSpace:
 
     config: SpaceConfig = field(default_factory=SpaceConfig)
     _topic_cache: dict = field(default_factory=dict, repr=False)
+    #: Per-prompt_id deep+surface mixtures (see ``prompt_mixture``) — the
+    #: mixture is consumed by both the text encoder and every diffusion
+    #: model conditioning on the prompt, so it is memoized on the space
+    #: they share.
+    mixture_cache: dict = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------
     # Topic / semantics construction

@@ -10,11 +10,12 @@ sees only what was actually depicted.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Protocol, Sequence
+import math
+from typing import Dict, List, Optional, Protocol, Sequence
 
 import numpy as np
 
-from repro._rng import normalize
+from repro._rng import directions, normalize
 from repro.embedding.space import SemanticSpace
 from repro.embedding.vocab import surface_vector
 
@@ -37,13 +38,33 @@ def prompt_mixture(space: SemanticSpace, prompt: "PromptLike") -> np.ndarray:
     This is both what the text encoder embeds and what a diffusion model
     conditions on — the model renders the wording as well as the intent, so
     a faithful generation agrees with this mixture, not with the raw deep
-    semantics alone.
+    semantics alone.  Because both consumers need it for every request, the
+    mixture is memoized per ``prompt_id`` on the shared space (the fast
+    path's ``directions`` switch also governs this cache).
     """
+    cache = space.mixture_cache if directions.enabled else None
+    if cache is not None:
+        hit = cache.get(prompt.prompt_id)
+        if hit is not None:
+            return hit
     cfg = space.config
     surface = surface_vector(list(prompt.tokens), cfg.semantic_dim)
     mixture = cfg.deep_weight * prompt.semantics
     mixture = mixture + cfg.surface_weight * surface
-    return normalize(mixture)
+    mixture = normalize(mixture)
+    if cache is not None:
+        mixture.flags.writeable = False
+        cache[prompt.prompt_id] = mixture
+    return mixture
+
+
+#: Process-wide embedding memo shared by caching encoder instances, keyed
+#: by (space-geometry digest, prompt_id).  Embeddings are pure in those
+#: keys (a prompt id identifies one immutable prompt), so fresh encoder
+#: instances — e.g. a new serving system over the same space — skip
+#: re-embedding prompts any previous instance saw.
+_EMBED_MEMO: Dict[tuple, np.ndarray] = {}
+_EMBED_MEMO_MAX = 300_000
 
 
 class ClipLikeTextEncoder:
@@ -55,7 +76,8 @@ class ClipLikeTextEncoder:
         Shared semantic space defining geometry and calibration.
     cache_embeddings:
         Keep a per-``prompt_id`` embedding cache (the paper's scheduler hosts
-        one CLIP model and embeds each request once).
+        one CLIP model and embeds each request once).  Caching instances
+        also share the process-wide memo above when the fast path is on.
     """
 
     def __init__(self, space: SemanticSpace, cache_embeddings: bool = True):
@@ -64,6 +86,7 @@ class ClipLikeTextEncoder:
         self._cache: Optional[Dict[str, np.ndarray]] = (
             {} if cache_embeddings else None
         )
+        self._memo_key = f"text/{space.config!r}"
 
     @property
     def space(self) -> SemanticSpace:
@@ -79,23 +102,103 @@ class ClipLikeTextEncoder:
 
     def encode(self, prompt: PromptLike) -> np.ndarray:
         """Embed one prompt; results are cached by ``prompt_id``."""
+        memo_key = None
         if self._cache is not None:
             hit = self._cache.get(prompt.prompt_id)
             if hit is not None:
                 return hit
+            if directions.enabled:
+                memo_key = (self._memo_key, prompt.prompt_id)
+                hit = _EMBED_MEMO.get(memo_key)
+                if hit is not None:
+                    self._cache[prompt.prompt_id] = hit
+                    return hit
         mixture = self.semantic_mixture(prompt)
         scaled = self._space.config.modality_scale * self._space.pad(mixture)
         embedding = normalize(scaled + self._anchor)
         if self._cache is not None:
             self._cache[prompt.prompt_id] = embedding
+            if memo_key is not None:
+                embedding.flags.writeable = False
+                if len(_EMBED_MEMO) >= _EMBED_MEMO_MAX:
+                    _EMBED_MEMO.clear()
+                _EMBED_MEMO[memo_key] = embedding
         return embedding
 
     def encode_batch(self, prompts: Sequence[PromptLike]) -> np.ndarray:
-        """Embed a sequence of prompts into an ``(n, embed_dim)`` array."""
-        if not prompts:
-            return np.zeros((0, self.embed_dim))
-        return np.stack([self.encode(p) for p in prompts])
+        """Embed a sequence of prompts into an ``(n, embed_dim)`` array.
+
+        Uncached prompts are embedded in one vectorized pass: their
+        mixtures are stacked, scaled, and anchored as a single matrix and
+        normalized together.  Row norms are computed with the scalar
+        path's exact ``sqrt(dot(v, v))`` so the batch is bit-identical to
+        sequential :meth:`encode` calls, and the per-``prompt_id`` cache
+        semantics are unchanged (duplicates within the batch share one
+        embedding, which is stored for later singleton encodes).
+        """
+        n = len(prompts)
+        embed_dim = self.embed_dim
+        if n == 0:
+            return np.zeros((0, embed_dim))
+        out = np.empty((n, embed_dim))
+        cache = self._cache
+        fresh: List[int] = []
+        first_row: Dict[str, int] = {}
+        uncached: List[PromptLike] = []
+        memo_enabled = cache is not None and directions.enabled
+        for i, prompt in enumerate(prompts):
+            hit = cache.get(prompt.prompt_id) if cache is not None else None
+            if hit is None and memo_enabled:
+                hit = _EMBED_MEMO.get((self._memo_key, prompt.prompt_id))
+                if hit is not None:
+                    cache[prompt.prompt_id] = hit
+            if hit is not None:
+                out[i] = hit
+                continue
+            fresh.append(i)
+            if prompt.prompt_id not in first_row:
+                first_row[prompt.prompt_id] = len(uncached)
+                uncached.append(prompt)
+        if not uncached:
+            return out
+        cfg = self._space.config
+        sdim = cfg.semantic_dim
+        mat = np.zeros((len(uncached), embed_dim))
+        for r, prompt in enumerate(uncached):
+            mat[r, :sdim] = prompt_mixture(self._space, prompt)
+        mat *= cfg.modality_scale
+        mat += self._anchor
+        norms = np.empty(len(uncached))
+        for r in range(len(uncached)):
+            row = mat[r]
+            norm = math.sqrt(float(np.dot(row, row)))
+            norms[r] = norm if norm != 0.0 else 1.0
+        mat /= norms[:, None]
+        for i in fresh:
+            out[i] = mat[first_row[prompts[i].prompt_id]]
+        if cache is not None:
+            if memo_enabled:
+                # Cached rows are shared process-wide; freeze the backing
+                # matrix so no caller can mutate them in place.
+                mat.flags.writeable = False
+            for r, prompt in enumerate(uncached):
+                row = mat[r]
+                cache[prompt.prompt_id] = row
+                if memo_enabled:
+                    if len(_EMBED_MEMO) >= _EMBED_MEMO_MAX:
+                        _EMBED_MEMO.clear()
+                    _EMBED_MEMO[(self._memo_key, prompt.prompt_id)] = row
+        return out
 
     def clear_cache(self) -> None:
+        """Drop this instance's cache and its space's shared memo entries.
+
+        Only entries for this encoder's space geometry are removed from
+        the process-wide memo; other spaces' embeddings stay warm.
+        """
         if self._cache is not None:
             self._cache.clear()
+            for key in [
+                k for k in _EMBED_MEMO if k[0] == self._memo_key
+            ]:
+                del _EMBED_MEMO[key]

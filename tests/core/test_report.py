@@ -84,3 +84,26 @@ class TestServingReport:
         event = report.allocations[0]
         assert event.n_large + event.n_small == 4
         assert event.small_model == "sdxl"
+
+
+class TestDerivedMetricsCached:
+    """Reports are immutable after run(); derived metrics compute once."""
+
+    def test_completed_computed_once(self, report):
+        a = report.completed()
+        assert report.completed() is a
+
+    def test_latencies_computed_once(self, report):
+        a = report.latencies()
+        assert report.latencies() is a
+        assert a.shape == (2,)
+
+    def test_completion_and_arrival_times_cached(self, report):
+        assert report.completion_times() is report.completion_times()
+        assert report.arrival_times() is report.arrival_times()
+
+    def test_cached_values_consistent_with_records(self, report):
+        assert report.n_completed == 2
+        assert report.makespan_s == 100.0
+        assert list(report.completion_times()) == [60.0, 100.0]
+        assert list(report.arrival_times()) == [0.0, 10.0, 20.0]

@@ -1,6 +1,5 @@
 """Tests for the MoDM serving system and its event-loop plumbing."""
 
-import collections
 
 import numpy as np
 import pytest
@@ -13,7 +12,7 @@ from repro.core.config import (
     MonitorMode,
 )
 from repro.core.request import RequestRecord
-from repro.core.serving import MoDMSystem
+from repro.core.serving import MoDMSystem, _ReadyQueue
 from repro.diffusion.registry import get_model
 
 
@@ -167,9 +166,13 @@ class TestDispatchPolicy:
         assert "sana-1.6b" in small_models_used
 
 
-class TestPopReadyOrdering:
-    """Regression: one not-yet-ready record at the queue head must not
-    starve ready records enqueued behind it (head-of-line blocking)."""
+class TestReadyQueueOrdering:
+    """Pop-order contract of the ready-deque + pending-heap queue.
+
+    Covers the PR-1 head-of-line regression (a not-yet-ready record must
+    not starve ready records queued behind it) plus the heap's ordering
+    under mixed ``enqueued_s`` values.
+    """
 
     def _record(self, prompts, request_id, enqueued_s):
         record = RequestRecord(
@@ -183,40 +186,83 @@ class TestPopReadyOrdering:
     def test_ready_record_behind_blocked_head_is_served(
         self, space, prompts
     ):
-        system = _system(space)
+        queue = _ReadyQueue()
         blocked = self._record(prompts, 0, enqueued_s=100.0)
         ready = self._record(prompts, 1, enqueued_s=1.0)
-        queue = collections.deque([blocked, ready])
-        assert system._pop_ready(queue, now=5.0) is ready
+        queue.push(blocked, now=0.0)
+        queue.push(ready, now=0.0)
+        assert queue.pop(now=5.0) is ready
         assert list(queue) == [blocked]
 
-    def test_out_of_order_enqueued_served_in_ready_order(
+    def test_mixed_enqueued_pops_earliest_ready_first(
         self, space, prompts
     ):
-        system = _system(space)
+        queue = _ReadyQueue()
         records = [
             self._record(prompts, 0, enqueued_s=50.0),
             self._record(prompts, 1, enqueued_s=5.0),
             self._record(prompts, 2, enqueued_s=30.0),
             self._record(prompts, 3, enqueued_s=2.0),
         ]
-        queue = collections.deque(records)
-        # At t=10 only records 1 and 3 are ready, in queue order.
-        assert system._pop_ready(queue, now=10.0) is records[1]
-        assert system._pop_ready(queue, now=10.0) is records[3]
-        assert system._pop_ready(queue, now=10.0) is None
-        assert list(queue) == [records[0], records[2]]
-        # Once the head's latency elapses it is served normally.
-        assert system._pop_ready(queue, now=60.0) is records[0]
-        assert system._pop_ready(queue, now=60.0) is records[2]
+        for record in records:
+            queue.push(record, now=0.0)
+        # At t=10 records 3 and 1 are ready, earliest enqueued_s first.
+        assert queue.has_ready(10.0)
+        assert queue.pop(now=10.0) is records[3]
+        assert queue.pop(now=10.0) is records[1]
+        assert queue.pop(now=10.0) is None
+        assert not queue.has_ready(10.0)
+        assert len(queue) == 2
+        assert list(queue) == [records[2], records[0]]
+        # Once the remaining latencies elapse they are served normally.
+        assert queue.pop(now=60.0) is records[2]
+        assert queue.pop(now=60.0) is records[0]
+        assert len(queue) == 0
+
+    def test_equal_enqueued_pops_in_insertion_order(self, space, prompts):
+        queue = _ReadyQueue()
+        records = [
+            self._record(prompts, i, enqueued_s=7.0) for i in range(4)
+        ]
+        for record in records:
+            queue.push(record, now=0.0)
+        assert [queue.pop(now=7.0) for _ in range(4)] == records
+
+    def test_already_ready_records_keep_fifo_order(self, space, prompts):
+        # Records whose latency elapsed before the push (enqueued_s <= now)
+        # go straight to the ready deque in insertion order.
+        queue = _ReadyQueue()
+        records = [
+            self._record(prompts, 0, enqueued_s=1.0),
+            self._record(prompts, 1, enqueued_s=0.5),
+            self._record(prompts, 2, enqueued_s=2.0),
+        ]
+        for record in records:
+            queue.push(record, now=5.0)
+        assert [queue.pop(now=5.0) for _ in range(3)] == records
 
     def test_nothing_ready_returns_none(self, space, prompts):
-        system = _system(space)
-        queue = collections.deque(
-            [self._record(prompts, 0, enqueued_s=10.0)]
-        )
-        assert system._pop_ready(queue, now=0.0) is None
+        queue = _ReadyQueue()
+        queue.push(self._record(prompts, 0, enqueued_s=10.0), now=0.0)
+        assert not queue.has_ready(0.0)
+        assert queue.pop(now=0.0) is None
         assert len(queue) == 1
+
+    def test_iteration_matches_legacy_deque_order_when_monotone(
+        self, space, prompts
+    ):
+        # The Global Monitor float-sums the hit backlog in queue order;
+        # with monotone enqueued_s (the serving invariant) iteration must
+        # match the old single-deque insertion order exactly.
+        queue = _ReadyQueue()
+        records = [
+            self._record(prompts, i, enqueued_s=float(2 * i))
+            for i in range(6)
+        ]
+        for record in records:
+            queue.push(record, now=0.0)
+        queue.pop(now=4.0)  # promotes 0-2, pops 0
+        assert list(queue) == records[1:]
 
 
 class TestShardedServing:

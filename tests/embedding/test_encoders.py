@@ -148,3 +148,80 @@ class TestModalityGap:
             text_encoder.encode(prompts[99]), image_encoder.encode(img)
         )
         assert sim < 0.24
+
+
+class TestEncodeBatchVectorized:
+    """The vectorized uncached-prompt path must be bit-identical to
+    sequential encode() calls and preserve cache semantics."""
+
+    def test_batch_bit_identical_to_sequential(self, space, prompts):
+        seq = ClipLikeTextEncoder(space)
+        bat = ClipLikeTextEncoder(space)
+        seq.clear_cache()  # also drops the process-wide memo
+        expected = np.stack([seq.encode(p) for p in prompts[:16]])
+        bat.clear_cache()
+        got = bat.encode_batch(prompts[:16])
+        assert (got == expected).all()
+
+    def test_duplicates_share_one_embedding(self, space, prompts):
+        enc = ClipLikeTextEncoder(space)
+        enc.clear_cache()
+        batch = [prompts[0], prompts[1], prompts[0], prompts[0]]
+        out = enc.encode_batch(batch)
+        assert (out[0] == out[2]).all() and (out[0] == out[3]).all()
+
+    def test_batch_populates_cache_for_singleton_encode(
+        self, space, prompts
+    ):
+        enc = ClipLikeTextEncoder(space)
+        enc.clear_cache()
+        out = enc.encode_batch(prompts[:3])
+        for i in range(3):
+            assert (enc.encode(prompts[i]) == out[i]).all()
+
+    def test_mixed_cached_and_fresh_rows(self, space, prompts):
+        enc = ClipLikeTextEncoder(space)
+        enc.clear_cache()
+        first = enc.encode(prompts[0])
+        out = enc.encode_batch(prompts[:4])
+        assert (out[0] == first).all()
+        reference = ClipLikeTextEncoder(space, cache_embeddings=False)
+        for i in range(1, 4):
+            assert (out[i] == reference.encode(prompts[i])).all()
+
+    def test_uncached_encoder_batch_matches(self, space, prompts):
+        enc = ClipLikeTextEncoder(space, cache_embeddings=False)
+        out = enc.encode_batch(prompts[:5])
+        for i in range(5):
+            assert (out[i] == enc.encode(prompts[i])).all()
+
+    def test_cross_instance_memo_shares_embeddings(self, space, prompts):
+        a = ClipLikeTextEncoder(space)
+        a.clear_cache()
+        emb = a.encode(prompts[0])
+        b = ClipLikeTextEncoder(space)
+        assert b.encode(prompts[0]) is emb
+
+
+class TestRetrievalBatchPaths:
+    def test_t2t_query_embeddings_match_singletons(self, space, prompts):
+        from repro.core.retrieval import TextToTextRetrieval
+
+        seq = TextToTextRetrieval(space)
+        bat = TextToTextRetrieval(space)
+        expected = np.stack(
+            [seq.query_embedding(p) for p in prompts[:8]]
+        )
+        got = bat.query_embeddings(prompts[:8])
+        assert (got == expected).all()
+
+    def test_t2i_query_embeddings_match_singletons(self, space, prompts):
+        from repro.core.retrieval import TextToImageRetrieval
+
+        seq = TextToImageRetrieval(space)
+        bat = TextToImageRetrieval(space)
+        expected = np.stack(
+            [seq.query_embedding(p) for p in prompts[:8]]
+        )
+        got = bat.query_embeddings(prompts[:8])
+        assert (got == expected).all()

@@ -74,3 +74,144 @@ class TestNormalize:
     def test_direction_preserved(self):
         vec = np.array([2.0, 0.0, 0.0])
         assert np.allclose(normalize(vec), [1.0, 0.0, 0.0])
+
+
+class TestFastSynthesis:
+    """The DirectionCache fast path must be bit-identical to the
+    reference ``unit_vector(rng_for(*keys), dim)`` implementation."""
+
+    def _keys(self, n):
+        # Mixed key shapes, including ones hashing to small seeds.
+        out = [("stream-a", f"tok{i}", i % 5) for i in range(n)]
+        out += [("s", i, float(i) / 3.0) for i in range(n // 2)]
+        return out
+
+    def test_raw_state_matches_numpy_pcg64(self):
+        from repro._rng import _pcg64_raw_state
+
+        seeds = [0, 1, 7, 2**31, 2**32 - 1, 2**32, 2**63, 2**64 - 1]
+        seeds += [seed_for("k", i) for i in range(200)]
+        for seed in seeds:
+            state, inc = _pcg64_raw_state(seed)
+            ref = np.random.PCG64(seed).state["state"]
+            assert state == ref["state"]
+            assert inc == ref["inc"]
+
+    def test_batched_raw_states_match_scalar(self):
+        from repro._rng import _pcg64_raw_state, _pcg64_raw_states
+
+        seeds = [seed_for("batch", i) for i in range(64)]
+        seeds += [0, 1, 2**32 - 1, 2**32, 2**64 - 1]
+        assert _pcg64_raw_states(seeds) == [
+            _pcg64_raw_state(s) for s in seeds
+        ]
+
+    def test_unit_bit_identical_to_reference(self):
+        from repro._rng import DirectionCache
+
+        cache = DirectionCache()
+        for keys in self._keys(100):
+            for dim in (2, 48, 50):
+                ref = unit_vector(rng_for(*keys), dim)
+                assert (cache.unit(dim, *keys) == ref).all()
+
+    def test_units_batch_bit_identical(self):
+        from repro._rng import DirectionCache
+
+        cache = DirectionCache()
+        keys = self._keys(40)
+        # Pre-warm half so the batch mixes cached and fresh rows.
+        for k in keys[::2]:
+            cache.unit(48, *k)
+        out = cache.units(48, keys)
+        assert out.shape == (len(keys), 48)
+        for i, k in enumerate(keys):
+            assert (out[i] == unit_vector(rng_for(*k), 48)).all()
+
+    def test_normal_and_fresh_match_reference(self):
+        from repro._rng import DirectionCache
+
+        cache = DirectionCache()
+        for keys in self._keys(50):
+            ref_scalar = float(rng_for(*keys).standard_normal())
+            assert cache.normal(*keys) == ref_scalar
+            assert cache.fresh_normal(*keys) == ref_scalar
+            ref_vec = unit_vector(rng_for(*keys), 24)
+            assert (cache.fresh_unit(24, *keys) == ref_vec).all()
+
+    def test_memo_returns_shared_readonly_array(self):
+        from repro._rng import DirectionCache
+
+        cache = DirectionCache()
+        a = cache.unit(48, "memo", 1)
+        b = cache.unit(48, "memo", 1)
+        assert a is b
+        assert not a.flags.writeable
+        with pytest.raises(ValueError):
+            a[0] = 0.0
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_disabled_bypasses_memo(self):
+        from repro._rng import DirectionCache, directions_disabled
+        from repro import _rng
+
+        cache = DirectionCache()
+        with directions_disabled():
+            assert not _rng.directions.enabled
+            cache.enabled = False
+            a = cache.unit(48, "off", 1)
+            b = cache.unit(48, "off", 1)
+            assert a is not b
+            assert (a == b).all()
+            assert len(cache) == 0
+        assert _rng.directions.enabled
+
+    def test_max_entries_bounds_cache(self):
+        from repro._rng import DirectionCache
+
+        cache = DirectionCache(max_entries=8)
+        for i in range(25):
+            cache.unit(8, "bound", i)
+        assert len(cache) <= 8
+
+    def test_module_cache_clear(self):
+        from repro._rng import directions
+
+        directions.unit(16, "clear-check", 0)
+        assert len(directions) > 0
+        directions.clear()
+        assert len(directions) == 0
+        assert directions.hits == 0 and directions.misses == 0
+
+
+class TestNormalizeExtremeRange:
+    """normalize must stay accurate when dot(v, v) under/overflows.
+
+    Regression for a hypothesis-found case: a single subnormal-squared
+    entry made the plain sqrt(dot) norm (and numpy's identical formula)
+    badly rounded, so normalize was not idempotent.
+    """
+
+    def test_subnormal_entry_idempotent(self):
+        vec = np.array([4.247056101277342e-162])
+        once = normalize(vec)
+        assert np.allclose(once, [1.0])
+        assert np.allclose(normalize(once), once, atol=1e-12)
+
+    def test_huge_entries_idempotent(self):
+        vec = np.array([1e200, -1e200, 3e199])
+        once = normalize(vec)
+        assert np.isclose(float(np.dot(once, once)), 1.0)
+        assert np.allclose(normalize(once), once, atol=1e-12)
+
+    def test_inf_entry_falls_back_gracefully(self):
+        vec = np.array([np.inf, 1.0])
+        out = normalize(vec)
+        assert out.shape == vec.shape
+
+    def test_normal_range_matches_linalg_norm(self):
+        rng = rng_for("normalize-range")
+        for _ in range(200):
+            vec = rng.standard_normal(48) * float(rng.uniform(0.1, 10.0))
+            ref = vec / float(np.linalg.norm(vec))
+            assert (normalize(vec) == ref).all()
