@@ -1,0 +1,34 @@
+"""In-engine SLO admission & degradation under overload.
+
+Extends Figs. 12-13: instead of measuring violations after the fact from
+latency logs, every system runs the same in-engine ``SLOPolicy``
+(deadlines at 2x the large model's solo latency, EDF dispatch, admission
+control).  At 4x overload, MoDM's degrade cascade must beat the baselines
+on violations while shedding strictly fewer requests — the baselines can
+only shed doomed work, MoDM re-routes it to the small-model path.
+"""
+
+from conftest import run_experiment
+from repro.experiments.figures import slo_admission
+
+
+def test_slo_admission(benchmark, ctx):
+    result = run_experiment(benchmark, slo_admission, ctx)
+    at_4x = {
+        r["system"]: r for r in result.rows if r["overload"] == 4.0
+    }
+    vanilla, nirvana, modm = (
+        at_4x["vanilla"],
+        at_4x["nirvana"],
+        at_4x["modm"],
+    )
+    # MoDM violates less than either baseline at 4x overload...
+    assert modm["violation_rate"] < vanilla["violation_rate"]
+    assert modm["violation_rate"] < nirvana["violation_rate"]
+    # ...while shedding strictly fewer requests.
+    assert modm["shed"] < vanilla["shed"]
+    assert modm["shed"] < nirvana["shed"]
+    # The cascade actually engages: some requests ride the degraded path.
+    assert modm["degraded"] > 0
+    # Overloaded baselines shed a large share of traffic.
+    assert vanilla["shed_rate"] > 0.25

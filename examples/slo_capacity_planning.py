@@ -1,41 +1,57 @@
-"""Capacity planning: how much load can a cluster take within SLO?
+"""Capacity planning with the in-engine SLO subsystem.
 
 The scenario the paper's §7.2 motivates: an operator with a fixed GPU
 budget needs the highest request rate that still meets a latency SLO
-(here 2x the large model's solo inference time).  This example sweeps
-request rates on a 4x A40 cluster and reports the SLO-compliant ceiling
-for Vanilla, Nirvana, and MoDM.
+(here 2x the large model's solo inference time).  Earlier versions of
+this example measured SLO violations *after the fact* from latency logs;
+now every system runs with an in-engine ``SLOPolicy`` — deadline-aware
+EDF dispatch, admission control that sheds doomed requests with a typed
+rejection, and (for MoDM) DiffServe-style degradation to the small-model
+path.  A request counts against the SLO when it completes late, is shed,
+or never finishes.
 
 Run:  python examples/slo_capacity_planning.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro import MoDMConfig, MoDMSystem, NirvanaSystem, VanillaSystem
+from repro import (
+    MoDMConfig,
+    MoDMSystem,
+    NirvanaSystem,
+    SLOClass,
+    SLOPolicy,
+    VanillaSystem,
+)
 from repro.cluster.arrivals import poisson_arrivals
 from repro.core.config import ClusterConfig
 from repro.diffusion.registry import get_model
 from repro.embedding import SemanticSpace
-from repro.metrics import slo_violation_rate
 from repro.workloads import DiffusionDBConfig, diffusiondb_trace
 
 RATES_PER_MIN = (3.0, 5.0, 7.0, 9.0)
 SLO_MULTIPLIER = 2.0
 MAX_VIOLATION_RATE = 0.10
 
+#: One standard traffic class, deadline at 2x solo large-model latency.
+POLICY = SLOPolicy(
+    classes=(SLOClass(name="standard", multiplier=SLO_MULTIPLIER),),
+)
+
 
 def build_systems(space, cluster):
     return {
-        "vanilla": VanillaSystem(space, cluster),
-        "nirvana": NirvanaSystem(space, cluster, cache_capacity=2_000),
+        "vanilla": VanillaSystem(space, cluster, slo=POLICY),
+        "nirvana": NirvanaSystem(
+            space, cluster, cache_capacity=2_000, slo=POLICY
+        ),
         "modm": MoDMSystem(
             space,
             MoDMConfig(
                 cluster=cluster,
                 cache_capacity=2_000,
                 small_models=("sdxl", "sana-1.6b"),
+                slo=POLICY,
             ),
         ),
     }
@@ -56,11 +72,12 @@ def main() -> None:
     base = trace.slice(400, 900)
 
     print(
-        f"SLO: latency <= {slo_s:.0f}s "
-        f"({SLO_MULTIPLIER:.0f}x SD3.5-Large solo inference on A40)"
+        f"SLO: deadline = arrival + {slo_s:.0f}s "
+        f"({SLO_MULTIPLIER:.0f}x SD3.5-Large solo inference on A40), "
+        "enforced in-engine"
     )
     header = f"{'rate/min':>8} | " + " | ".join(
-        f"{name:>18}" for name in ("vanilla", "nirvana", "modm")
+        f"{name:>31}" for name in ("vanilla", "nirvana", "modm")
     )
     print(header)
     print("-" * len(header))
@@ -74,17 +91,14 @@ def main() -> None:
             if hasattr(system, "warm_cache"):
                 system.warm_cache(warm)
             report = system.run(timed)
-            violation = slo_violation_rate(
-                report.latencies(), slo_s
-            ).violation_rate
-            p99 = float(np.percentile(report.latencies(), 99))
-            ok = violation <= MAX_VIOLATION_RATE
-            if ok:
+            summary = report.slo()
+            if summary.violation_rate <= MAX_VIOLATION_RATE:
                 ceilings[name] = rate
             cells.append(
-                f"{violation*100:5.1f}% viol, p99 {p99:6.0f}s"
+                f"{summary.violation_rate * 100:5.1f}% viol, "
+                f"{summary.shed:3d} shed, {summary.degraded:3d} degr"
             )
-        print(f"{rate:8.1f} | " + " | ".join(f"{c:>18}" for c in cells))
+        print(f"{rate:8.1f} | " + " | ".join(f"{c:>31}" for c in cells))
 
     print()
     for name in ("vanilla", "nirvana", "modm"):

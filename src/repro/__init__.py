@@ -38,7 +38,13 @@ from repro.core import (
     PineconeSystem,
     VanillaSystem,
 )
-from repro.core.config import CacheAdmission, ClusterConfig, MonitorMode
+from repro.core.config import (
+    CacheAdmission,
+    ClusterConfig,
+    MonitorMode,
+    SLOClass,
+    SLOPolicy,
+)
 from repro.embedding import SemanticSpace
 
 __version__ = "1.0.0"
@@ -51,6 +57,8 @@ __all__ = [
     "MonitorMode",
     "NirvanaSystem",
     "PineconeSystem",
+    "SLOClass",
+    "SLOPolicy",
     "SemanticSpace",
     "VanillaSystem",
     "quickstart_system",

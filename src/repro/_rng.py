@@ -70,6 +70,25 @@ def unit_vector(rng: np.random.Generator, dim: int) -> np.ndarray:
     return vec / norm
 
 
+def _normalize_nonfinite(vec: np.ndarray) -> np.ndarray:
+    """Deterministic, warning-free ``normalize`` of a NaN/inf vector.
+
+    Infinite entries dominate any finite ones in the limit, so the result
+    points along the signs of the infinite components (each weighted
+    equally) with every finite component at zero.  With no infinities,
+    NaN entries are treated as contributing nothing: they are replaced by
+    zero and the remaining finite vector is normalized (an all-NaN vector
+    therefore maps to the zero vector, mirroring the zero-input
+    pass-through).
+    """
+    inf_mask = np.isinf(vec)
+    if inf_mask.any():
+        out = np.zeros_like(vec)
+        out[inf_mask] = np.sign(vec[inf_mask])
+        return out / math.sqrt(float(inf_mask.sum()))
+    return normalize(np.where(np.isnan(vec), 0.0, vec))
+
+
 def normalize(vec: np.ndarray) -> np.ndarray:
     """Return ``vec`` scaled to unit L2 norm (zero vectors pass through).
 
@@ -88,23 +107,46 @@ def normalize(vec: np.ndarray) -> np.ndarray:
     badly rounded norm.  That range never occurs in the serving pipeline
     (everything is unit-scale), but ``normalize`` is a public utility, so
     it falls back to a scaled two-pass norm there instead of inheriting
-    the inaccuracy.
+    the inaccuracy.  Vectors carrying NaN/inf entries take the
+    :func:`_normalize_nonfinite` fallback instead of poisoning the output
+    (and warning) through a non-finite norm.
     """
     if vec.ndim == 1 and vec.dtype.kind == "f" and directions.enabled:
-        sq = float(np.dot(vec, vec))
+        try:
+            sq = float(np.dot(vec, vec))
+        except RuntimeWarning:
+            # Entries beyond ~1e154 overflow the dot's reduction; under
+            # promoted warning filters (-W error::RuntimeWarning) numpy
+            # raises before returning.  Record the overflow and continue
+            # on the slow branch — inputs this extreme never occur on the
+            # serving hot path, so the probe stays unguarded (and fast).
+            sq = math.inf
         if 1e-280 < sq < 1e280:
             norm = math.sqrt(sq)
         elif sq == 0.0:
             return vec
         else:
+            # sq under/overflowed (extreme magnitudes) or is NaN
+            # (non-finite entries); both are off the hot path.
+            if not np.isfinite(vec).all():
+                return _normalize_nonfinite(vec)
             peak = float(np.max(np.abs(vec)))
-            if not math.isfinite(peak):
-                norm = float(np.linalg.norm(vec))
-            else:
-                scaled = vec / peak
-                norm = peak * math.sqrt(float(np.dot(scaled, scaled)))
+            scaled = vec / peak
+            norm = peak * math.sqrt(float(np.dot(scaled, scaled)))
     else:
-        norm = float(np.linalg.norm(vec))
+        try:
+            norm = float(np.linalg.norm(vec))
+        except RuntimeWarning:
+            norm = math.inf
+        if not math.isfinite(norm):
+            if not np.isfinite(vec).all():
+                return _normalize_nonfinite(vec)
+            # Finite entries whose squared sum overflowed: same
+            # peak-scaled two-pass as the fast path's slow branch
+            # (norm(v) = peak * norm(v / peak), exact in real arithmetic).
+            peak = float(np.max(np.abs(vec)))
+            scaled = vec / peak
+            norm = peak * float(np.linalg.norm(scaled))
     if norm == 0.0:
         return vec
     return vec / norm

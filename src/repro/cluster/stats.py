@@ -14,6 +14,49 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, Optional, Tuple
 
 
+#: SLO event kinds the collector accepts; admission events ("accept",
+#: "degrade", "shed", "late") are streamed by the SLO gate at arrival,
+#: outcome events ("met", "violation") at completion.
+SLO_EVENT_KINDS = ("accept", "degrade", "shed", "late", "met", "violation")
+
+
+@dataclass(frozen=True)
+class SloWindowStats:
+    """SLO pressure snapshot of the last monitoring window.
+
+    ``mean_slack_s`` averages the *planned* slack of admission events
+    (deadline minus the chosen path's completion estimate); negative
+    values mean the gate is already admitting work it expects to be late.
+    """
+
+    window_s: float
+    accepted: int
+    degraded: int
+    shed: int
+    late: int
+    met: int
+    violated: int
+    mean_slack_s: float
+
+    @property
+    def admissions(self) -> int:
+        return self.accepted + self.degraded + self.shed + self.late
+
+    @property
+    def pressure(self) -> float:
+        """Fraction of windowed SLO events going wrong (0 = healthy).
+
+        Sheds and late admissions count from the arrival side, violations
+        from the completion side; degraded requests count as half —
+        served in time, but below primary quality.
+        """
+        total = self.admissions + self.met + self.violated
+        if total == 0:
+            return 0.0
+        bad = self.shed + self.late + self.violated + 0.5 * self.degraded
+        return min(1.0, bad / total)
+
+
 @dataclass(frozen=True)
 class WindowStats:
     """Snapshot of the last monitoring window."""
@@ -47,6 +90,8 @@ class StatsCollector:
         self._max_window_s = max_window_s
         # (time, is_hit, k) — k meaningful only for hits.
         self._events: Deque[Tuple[float, bool, int]] = deque()
+        # (time, kind, slack_s) — streamed by the SLO gate when active.
+        self._slo_events: Deque[Tuple[float, str, float]] = deque()
         self.total_arrivals = 0
         self.total_hits = 0
         self.total_misses = 0
@@ -93,6 +138,48 @@ class StatsCollector:
             misses=misses,
             k_rates=k_rates,
         )
+
+    def record_slo(self, now: float, kind: str, slack_s: float) -> None:
+        """Record one SLO event (see :data:`SLO_EVENT_KINDS`)."""
+        if kind not in SLO_EVENT_KINDS:
+            raise ValueError(
+                f"unknown SLO event kind {kind!r}; "
+                f"expected one of {SLO_EVENT_KINDS}"
+            )
+        self._slo_events.append((now, kind, slack_s))
+        self._trim_slo(now)
+
+    def slo_window(self, now: float, window_s: float) -> SloWindowStats:
+        """SLO events over ``[now - window_s, now]``."""
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        cutoff = now - window_s
+        counts = {kind: 0 for kind in SLO_EVENT_KINDS}
+        slack_sum = 0.0
+        slack_n = 0
+        for time, kind, slack in reversed(self._slo_events):
+            if time < cutoff:
+                break
+            counts[kind] += 1
+            if kind in ("accept", "degrade", "shed", "late"):
+                slack_sum += slack
+                slack_n += 1
+        return SloWindowStats(
+            window_s=window_s,
+            accepted=counts["accept"],
+            degraded=counts["degrade"],
+            shed=counts["shed"],
+            late=counts["late"],
+            met=counts["met"],
+            violated=counts["violation"],
+            mean_slack_s=slack_sum / slack_n if slack_n else 0.0,
+        )
+
+    def _trim_slo(self, now: float) -> None:
+        cutoff = now - self._max_window_s
+        events = self._slo_events
+        while events and events[0][0] < cutoff:
+            events.popleft()
 
     @property
     def overall_hit_rate(self) -> float:

@@ -13,6 +13,8 @@ The pieces of Fig. 4, as a library:
   Global Monitor (Algorithm 1), in quality- and throughput-optimized modes;
 * :mod:`repro.core.serving` — the end-to-end MoDM serving system over the
   cluster simulator;
+* :mod:`repro.core.slo` — the opt-in SLO subsystem: per-request deadlines
+  and priority classes, admission control, and the degrade/shed cascade;
 * :mod:`repro.core.baselines` — Vanilla, Nirvana, Pinecone, and standalone
   small/distilled-model systems.
 """
@@ -28,6 +30,8 @@ from repro.core.config import (
     ClusterConfig,
     MoDMConfig,
     MonitorMode,
+    SLOClass,
+    SLOPolicy,
 )
 from repro.core.kselection import (
     KSelector,
@@ -37,13 +41,20 @@ from repro.core.kselection import (
 )
 from repro.core.monitor import Allocation, GlobalMonitor, MonitorConfig
 from repro.core.pid import PIDController
-from repro.core.request import Decision, RequestRecord
+from repro.core.request import Decision, RequestRecord, SLORejection
 from repro.core.retrieval import (
     TextToImageRetrieval,
     TextToTextRetrieval,
 )
 from repro.core.scheduler import RequestScheduler
 from repro.core.serving import MoDMSystem, ServingReport
+from repro.core.slo import (
+    PathEstimate,
+    SloGate,
+    SloSummary,
+    SloVerdict,
+    summarize_slo,
+)
 
 __all__ = [
     "Allocation",
@@ -61,14 +72,22 @@ __all__ = [
     "MonitorMode",
     "NirvanaSystem",
     "PIDController",
+    "PathEstimate",
     "PineconeSystem",
     "RequestRecord",
     "RequestScheduler",
+    "SLOClass",
+    "SLOPolicy",
+    "SLORejection",
     "ServingReport",
+    "SloGate",
+    "SloSummary",
+    "SloVerdict",
     "TextToImageRetrieval",
     "TextToTextRetrieval",
     "VanillaSystem",
     "derive_thresholds",
     "modm_default_selector",
     "nirvana_default_selector",
+    "summarize_slo",
 ]

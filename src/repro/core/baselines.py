@@ -17,7 +17,7 @@ import collections
 from typing import Deque, Optional, Sequence
 
 from repro.core.cache import ImageCache, LatentCache
-from repro.core.config import ClusterConfig
+from repro.core.config import ClusterConfig, SLOPolicy
 from repro.core.kselection import (
     KSelector,
     nirvana_default_selector,
@@ -26,6 +26,7 @@ from repro.core.kselection import (
 from repro.core.request import Decision, RequestRecord
 from repro.core.retrieval import TextToTextRetrieval
 from repro.core.serving import BaseServingSystem, ServingReport, _WorkItem
+from repro.core.slo import PathEstimate
 from repro.diffusion.latent import CachedLatent, SyntheticImage
 from repro.diffusion.registry import get_model
 from repro.embedding.space import SemanticSpace
@@ -33,7 +34,12 @@ from repro.workloads.prompts import Prompt
 
 
 class VanillaSystem(BaseServingSystem):
-    """Full inference with a single model for every request."""
+    """Full inference with a single model for every request.
+
+    With an :class:`SLOPolicy` the system runs SLO *admission* (a single
+    serving path leaves nothing to degrade to, so doomed sheddable
+    requests are shed); without one, behaviour is unchanged.
+    """
 
     def __init__(
         self,
@@ -42,12 +48,15 @@ class VanillaSystem(BaseServingSystem):
         model: str = "sd3.5-large",
         seed: str = "run0",
         store_images: bool = True,
+        slo: Optional[SLOPolicy] = None,
     ):
         super().__init__(
             space, cluster, seed=seed, store_images=store_images
         )
         self._spec = get_model(model)
         self.name = f"vanilla-{self._spec.name}"
+        if slo is not None:
+            self._install_slo_gate(slo, self._spec)
         self._queue: Deque[RequestRecord] = collections.deque()
 
     def _reset_runtime(self) -> None:
@@ -61,6 +70,26 @@ class VanillaSystem(BaseServingSystem):
         record.decision = Decision(hit=False)
         self.stats.record_decision(now, hit=False)
         record.enqueued_s = now
+        gate = self._slo_gate
+        if gate is not None:
+            gate.assign(record)
+            service = self._spec.service_time_s(
+                self._gpu.name, self._spec.total_steps
+            )
+            verdict = gate.admit(
+                record,
+                now,
+                PathEstimate(
+                    name="full",
+                    wait_s=len(self._queue)
+                    * service
+                    / self._cluster.n_workers,
+                    service_s=service,
+                ),
+            )
+            if not verdict.admitted:
+                self._register_shed(record)
+                return
         self._queue.append(record)
 
     def _has_ready_work(self, now: float) -> bool:
@@ -100,6 +129,7 @@ class NirvanaSystem(BaseServingSystem):
         embed_latency_s: float = 0.01,
         seed: str = "run0",
         store_images: bool = True,
+        slo: Optional[SLOPolicy] = None,
     ):
         super().__init__(
             space, cluster, seed=seed, store_images=store_images
@@ -116,11 +146,19 @@ class NirvanaSystem(BaseServingSystem):
         self._selector = selector or nirvana_default_selector()
         self._latent_fetch_s = latent_fetch_s
         self._embed_latency_s = embed_latency_s
+        if slo is not None:
+            # Single-model serving: hits shorten service but there is no
+            # cheaper model to degrade to, so the gate can only shed.
+            self._install_slo_gate(slo, self._spec)
         self._queue: Deque[RequestRecord] = collections.deque()
+        # Estimated queued service seconds, maintained incrementally for
+        # O(1) admission-time wait estimates (gate active only).
+        self._queue_work_s = 0.0
 
     def _reset_runtime(self) -> None:
         super()._reset_runtime()
         self._queue = collections.deque()
+        self._queue_work_s = 0.0
         if hasattr(self, "_spec"):
             for worker in self.workers:
                 worker.target_model = self._spec.name
@@ -210,8 +248,46 @@ class NirvanaSystem(BaseServingSystem):
                 scheduler_latency_s=latency,
             )
         record.enqueued_s = now + latency
+        gate = self._slo_gate
+        if gate is not None:
+            gate.assign(record)
+            service = self._service_estimate_s(record)
+            verdict = gate.admit(
+                record,
+                now,
+                PathEstimate(
+                    name="hit" if record.decision.hit else "full",
+                    wait_s=self._queue_work_s / self._cluster.n_workers,
+                    service_s=service,
+                ),
+            )
+            if not verdict.admitted:
+                self._register_shed(record)
+                return
+            self._queue_work_s += service
         self._queue.append(record)
         self._schedule_queue_dispatch(record)
+
+    def _service_estimate_s(self, record: RequestRecord) -> float:
+        """Service seconds this record will occupy a worker for."""
+        decision = record.decision
+        if (
+            decision is not None
+            and decision.hit
+            and decision.retrieved_image is not None
+        ):
+            skipped = scale_k_steps(
+                decision.k_steps, self._spec.total_steps
+            )
+            return (
+                self._spec.service_time_s(
+                    self._gpu.name, self._spec.total_steps - skipped
+                )
+                + self._latent_fetch_s
+            )
+        return self._spec.service_time_s(
+            self._gpu.name, self._spec.total_steps
+        )
 
     def _has_ready_work(self, now: float) -> bool:
         # FIFO with head-of-line semantics: ready iff the head is ready.
@@ -221,6 +297,11 @@ class NirvanaSystem(BaseServingSystem):
         if not self._queue or self._queue[0].enqueued_s > now:
             return None
         record = self._queue.popleft()
+        if self._slo_gate is not None:
+            self._queue_work_s = max(
+                0.0,
+                self._queue_work_s - self._service_estimate_s(record),
+            )
         decision = record.decision
         assert decision is not None
         if decision.hit and decision.retrieved_image is not None:

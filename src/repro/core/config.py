@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional, Tuple
 
+from repro._rng import seed_for
 from repro.core.cache import EVICTION_POLICIES
 from repro.diffusion.registry import GPU_SPECS
 
@@ -29,6 +30,127 @@ class CacheAdmission(str, Enum):
     ALL = "all"
     LARGE_ONLY = "large"
     NONE = "none"
+
+
+@dataclass(frozen=True)
+class SLOClass:
+    """One priority class of an :class:`SLOPolicy`.
+
+    A request's deadline is ``arrival + multiplier x solo_latency`` (the
+    paper's Figs. 12-13 thresholds are 2x / 4x the large model's solo
+    inference time) or ``arrival + deadline_s`` when an absolute deadline
+    is given — an absolute deadline takes precedence over the multiplier.
+
+    ``priority`` orders classes at dispatch (lower pops first);
+    ``sheddable``/``degradable`` bound what admission control may do to a
+    doomed request of this class: a non-degradable request never leaves
+    its primary serving path, and a non-sheddable request is served even
+    when every path misses its deadline (it just runs late).
+    """
+
+    name: str
+    priority: int = 0
+    multiplier: Optional[float] = 2.0
+    deadline_s: Optional[float] = None
+    share: float = 1.0
+    sheddable: bool = True
+    degradable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("SLO class needs a name")
+        if self.deadline_s is None:
+            if self.multiplier is None or self.multiplier <= 0:
+                raise ValueError(
+                    f"class {self.name!r} needs a positive multiplier or "
+                    "an absolute deadline_s"
+                )
+        elif self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        if self.share <= 0:
+            raise ValueError("share must be positive")
+
+    def deadline_budget_s(self, solo_latency_s: float) -> float:
+        """Seconds from arrival to this class's deadline."""
+        if self.deadline_s is not None:
+            return self.deadline_s
+        return self.multiplier * solo_latency_s
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """Opt-in SLO subsystem configuration (deadlines, admission, EDF).
+
+    Attaching a policy to a serving system turns on, independently:
+
+    * ``edf`` — the ready queues order by ``(priority, deadline)`` with
+      insertion order breaking ties (earliest-deadline-first within a
+      priority band) instead of pure FIFO;
+    * ``degrade`` — requests whose primary path cannot meet their slack
+      are re-routed to the cache-hit/small-model path (DiffServe-style
+      cascade) where the system has one;
+    * ``admission`` — requests no path can serve in time are shed at
+      arrival with a typed rejection instead of queueing doomed work;
+    * ``monitor_pressure`` — the Global Monitor reads window-level SLO
+      pressure (sheds, lates, violations) and biases its allocation
+      toward the small model under pressure.
+
+    With all four off the policy is observe-only: deadlines are assigned
+    and violation accounting is reported, but every scheduling decision is
+    identical to running without a policy.  ``classes`` are weighted by
+    ``share``; each request is assigned a class deterministically by
+    hashing ``(assignment_seed, request_id)``, so traces re-serve
+    identically across runs and systems.  ``slack_margin_s`` is a safety
+    margin subtracted from the available slack in every feasibility check
+    (a path is "in time" only if it beats the deadline by the margin).
+    """
+
+    classes: Tuple[SLOClass, ...] = (SLOClass(name="standard"),)
+    edf: bool = True
+    admission: bool = True
+    degrade: bool = True
+    monitor_pressure: bool = True
+    degrade_threshold_shift: float = 0.05
+    slack_margin_s: float = 0.0
+    assignment_seed: str = "slo-class"
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ValueError("SLOPolicy needs at least one class")
+        names = [cls.name for cls in self.classes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO class names: {names}")
+        if self.slack_margin_s < 0:
+            raise ValueError("slack_margin_s must be non-negative")
+        if self.degrade_threshold_shift < 0:
+            raise ValueError(
+                "degrade_threshold_shift must be non-negative (it is "
+                "subtracted from the selector thresholds)"
+            )
+
+    def class_named(self, name: str) -> SLOClass:
+        for cls in self.classes:
+            if cls.name == name:
+                return cls
+        raise KeyError(
+            f"unknown SLO class {name!r}; "
+            f"available: {[c.name for c in self.classes]}"
+        )
+
+    def class_of(self, request_id: int) -> SLOClass:
+        """Deterministic share-weighted class assignment for a request."""
+        if len(self.classes) == 1:
+            return self.classes[0]
+        total = sum(cls.share for cls in self.classes)
+        draw = (
+            seed_for(self.assignment_seed, request_id) / 2**64
+        ) * total
+        acc = 0.0
+        for cls in self.classes:
+            acc += cls.share
+            if draw < acc:
+                return cls
+        return self.classes[-1]  # pragma: no cover - float edge
 
 
 @dataclass(frozen=True)
@@ -60,6 +182,11 @@ class MoDMConfig:
     (``fifo`` — the paper's sliding window — ``lru``, or ``utility``);
     ``cache_shards > 1`` partitions the embedding store across that many
     shards for beyond-one-matrix capacity.
+
+    ``slo`` opts into the SLO subsystem (deadline-aware dispatch,
+    admission control, graceful degradation).  ``None`` — the default —
+    keeps the engine's decisions bit-for-bit identical to the policy-free
+    engine.
     """
 
     large_model: str = "sd3.5-large"
@@ -78,6 +205,7 @@ class MoDMConfig:
     threshold_shift: float = 0.0
     seed: str = "run0"
     store_images: bool = True
+    slo: Optional[SLOPolicy] = None
 
     def __post_init__(self) -> None:
         if not self.small_models:

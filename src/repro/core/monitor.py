@@ -42,10 +42,15 @@ class MonitorConfig:
     ki: float = 0.05
     kd: float = 0.05
     use_pid: bool = True
+    #: How strongly SLO pressure (0-1) shifts the split toward the small
+    #: model: the large-worker target is scaled by ``1 - gain * pressure``.
+    slo_pressure_gain: float = 0.5
 
     def __post_init__(self) -> None:
         if self.period_s <= 0 or self.window_s <= 0:
             raise ValueError("period_s and window_s must be positive")
+        if not 0.0 <= self.slo_pressure_gain <= 1.0:
+            raise ValueError("slo_pressure_gain must be in [0, 1]")
 
 
 @dataclass(frozen=True)
@@ -112,6 +117,7 @@ class GlobalMonitor:
         window: WindowStats,
         miss_backlog: int = 0,
         hit_backlog_workload: float = 0.0,
+        slo_pressure: float = 0.0,
     ) -> Allocation:
         """Run one monitoring period over the window's statistics.
 
@@ -120,9 +126,18 @@ class GlobalMonitor:
         make the allocator react to accumulated queues as well as fresh
         arrivals; without them a demand burst larger than the stats window
         would starve once its arrivals age out of the window.
+
+        ``slo_pressure`` (0-1, from the stats collector's SLO window) pulls
+        the split toward the small model when deadlines are being missed:
+        the mode target is scaled by ``1 - slo_pressure_gain * pressure``
+        before damping, trading per-request quality for the throughput
+        that restores slack.  At 0 (the default, and always when the SLO
+        subsystem is off) the allocation is untouched.
         """
         if miss_backlog < 0 or hit_backlog_workload < 0:
             raise ValueError("backlogs must be non-negative")
+        if not 0.0 <= slo_pressure <= 1.0:
+            raise ValueError("slo_pressure must be in [0, 1]")
         rate = window.request_rate_per_min
         hit_rate = window.hit_rate
         # Queued work should clear within roughly one monitoring period.
@@ -172,6 +187,8 @@ class GlobalMonitor:
             target = self._throughput_target(
                 miss_workload, hit_workload, p_large, p_small
             )
+        if slo_pressure > 0.0:
+            target *= 1.0 - self._config.slo_pressure_gain * slo_pressure
 
         if self._config.use_pid:
             delta = self._pid.compute(target, self.current_num_large)

@@ -17,7 +17,13 @@ from repro.workloads.prompts import Prompt
 
 @dataclass
 class Decision:
-    """Outcome of the Request Scheduler for one request (§4.2, §5.2)."""
+    """Outcome of the Request Scheduler for one request (§4.2, §5.2).
+
+    ``candidate_image``/``candidate_similarity`` carry the nearest cache
+    entry of a *miss* when the scheduler is asked to keep candidates (SLO
+    degradation re-thresholds them through a more permissive selector);
+    they are ``None``/``0.0`` otherwise and never set on hits.
+    """
 
     hit: bool
     similarity: float = 0.0
@@ -25,6 +31,8 @@ class Decision:
     retrieved_image: Optional[SyntheticImage] = None
     scheduler_latency_s: float = 0.0
     served_from_cache: bool = False
+    candidate_image: Optional[SyntheticImage] = None
+    candidate_similarity: float = 0.0
 
     def __post_init__(self) -> None:
         if self.hit and self.retrieved_image is None:
@@ -38,9 +46,36 @@ class Decision:
         return self.k_steps / 50.0
 
 
+@dataclass(frozen=True)
+class SLORejection:
+    """Typed rejection of a request shed by SLO admission control.
+
+    Attached to :attr:`RequestRecord.rejection` instead of queueing work
+    that cannot meet its deadline; ``best_estimate_s`` is the earliest
+    completion any serving path *this request was allowed to take* could
+    have offered when it was shed — always past the deadline minus the
+    policy's ``slack_margin_s``, or the request would not have been shed.
+    """
+
+    time_s: float
+    slo_class: str
+    deadline_s: float
+    best_estimate_s: float
+    reason: str = "no path can meet the deadline"
+
+
 @dataclass
 class RequestRecord:
-    """One request's full lifecycle in a serving run."""
+    """One request's full lifecycle in a serving run.
+
+    The SLO fields stay at their defaults unless the serving system runs
+    with an :class:`~repro.core.config.SLOPolicy`: ``slo_class`` /
+    ``priority`` / ``deadline_s`` are assigned at arrival, ``degraded``
+    marks a request re-routed to the small-model path (with
+    ``degrade_k_steps`` > 0 and ``degrade_source`` set when a cache
+    candidate anchors the degraded refinement), and ``rejection`` carries
+    the typed shed outcome of admission control.
+    """
 
     request_id: int
     prompt: Prompt
@@ -53,10 +88,37 @@ class RequestRecord:
     model_name: Optional[str] = None
     steps_run: int = 0
     image: Optional[SyntheticImage] = None
+    slo_class: Optional[str] = None
+    priority: int = 0
+    deadline_s: Optional[float] = None
+    degraded: bool = False
+    degrade_k_steps: int = 0
+    degrade_source: Optional[SyntheticImage] = None
+    rejection: Optional[SLORejection] = None
 
     @property
     def completed(self) -> bool:
         return self.completion_s is not None
+
+    @property
+    def shed(self) -> bool:
+        """True when admission control rejected this request."""
+        return self.rejection is not None
+
+    def slack_s(self, now: float) -> float:
+        """Seconds until the deadline (negative once it has passed)."""
+        if self.deadline_s is None:
+            raise ValueError(
+                f"request {self.request_id} has no deadline"
+            )
+        return self.deadline_s - now
+
+    @property
+    def met_deadline(self) -> Optional[bool]:
+        """Whether the deadline was met; None without a deadline."""
+        if self.deadline_s is None:
+            return None
+        return self.completed and self.completion_s <= self.deadline_s
 
     @property
     def latency_s(self) -> float:

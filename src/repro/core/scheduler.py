@@ -68,15 +68,31 @@ class RequestScheduler:
     def retrieval(self) -> RetrievalPolicy:
         return self._retrieval
 
-    def decide(self, prompt: PromptLike, now: float) -> Decision:
-        """Classify one request as cache hit (with ``k``) or miss."""
+    def decide(
+        self,
+        prompt: PromptLike,
+        now: float,
+        keep_candidates: bool = False,
+    ) -> Decision:
+        """Classify one request as cache hit (with ``k``) or miss.
+
+        With ``keep_candidates`` the nearest cache entry of a miss is
+        kept on the decision (``candidate_image``) instead of dropped —
+        the SLO degradation cascade re-thresholds it through a more
+        permissive selector.  The hit/miss outcome is unaffected.
+        """
         query = self._retrieval.query_embedding(prompt)
         latency = self._embed_latency_s + self._cache.retrieval_latency_s()
         entry, similarity = self._cache.retrieve(query)
-        return self._finish_decision(entry, similarity, latency, now)
+        return self._finish_decision(
+            entry, similarity, latency, now, keep_candidates
+        )
 
     def decide_batch(
-        self, prompts: Sequence[PromptLike], now: float
+        self,
+        prompts: Sequence[PromptLike],
+        now: float,
+        keep_candidates: bool = False,
     ) -> List[Decision]:
         """Classify a batch of same-tick arrivals in one matrix product.
 
@@ -95,16 +111,23 @@ class RequestScheduler:
             # Singleton batches are the common case on real traces; the
             # sequential path is bit-identical and skips the batch-matrix
             # assembly entirely.
-            return [self.decide(prompts[0], now)]
+            return [self.decide(prompts[0], now, keep_candidates)]
         queries = self._retrieval.query_embeddings(prompts)
         latency = self._embed_latency_s + self._cache.retrieval_latency_s()
         return [
-            self._finish_decision(entry, similarity, latency, now)
+            self._finish_decision(
+                entry, similarity, latency, now, keep_candidates
+            )
             for entry, similarity in self._cache.retrieve_batch(queries)
         ]
 
     def _finish_decision(
-        self, entry, similarity: float, latency: float, now: float
+        self,
+        entry,
+        similarity: float,
+        latency: float,
+        now: float,
+        keep_candidates: bool = False,
     ) -> Decision:
         """Threshold one retrieval outcome and record its stats."""
         k = (
@@ -123,6 +146,14 @@ class RequestScheduler:
                 scheduler_latency_s=latency,
             )
         self._stats.record_decision(now, hit=False)
+        if keep_candidates and entry is not None:
+            return Decision(
+                hit=False,
+                similarity=similarity,
+                scheduler_latency_s=latency,
+                candidate_image=entry.payload,
+                candidate_similarity=similarity,
+            )
         return Decision(
             hit=False,
             similarity=similarity,

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import (
     Deque,
@@ -44,12 +45,19 @@ from repro.core.config import (
     MonitorMode,
 )
 from repro.core.kselection import (
+    REFERENCE_TOTAL_STEPS,
     KSelector,
     modm_default_selector,
     scale_k_steps,
 )
 from repro.core.monitor import Allocation, GlobalMonitor, MonitorConfig
 from repro.core.request import Decision, RequestRecord
+from repro.core.slo import (
+    PathEstimate,
+    SloGate,
+    SloSummary,
+    summarize_slo,
+)
 from repro.core.retrieval import (
     RetrievalPolicy,
     TextToImageRetrieval,
@@ -115,6 +123,12 @@ class ServingReport:
     _arrival_times: Optional[np.ndarray] = field(
         default=None, repr=False, compare=False
     )
+    _slo_summary: Optional[SloSummary] = field(
+        default=None, repr=False, compare=False
+    )
+    _slo_summarized: bool = field(
+        default=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Derived serving metrics
@@ -133,6 +147,9 @@ class ServingReport:
             self._latencies = np.array(
                 [r.latency_s for r in self.completed()]
             )
+            # Cached arrays are shared across calls: freeze them so a
+            # caller-side in-place sort cannot corrupt later reads.
+            self._latencies.flags.writeable = False
         return self._latencies
 
     def completion_times(self) -> np.ndarray:
@@ -140,6 +157,7 @@ class ServingReport:
             self._completion_times = np.array(
                 [r.completion_s for r in self.completed()]
             )
+            self._completion_times.flags.writeable = False
         return self._completion_times
 
     def arrival_times(self) -> np.ndarray:
@@ -147,6 +165,7 @@ class ServingReport:
             self._arrival_times = np.array(
                 [r.arrival_s for r in self.records]
             )
+            self._arrival_times.flags.writeable = False
         return self._arrival_times
 
     @property
@@ -185,37 +204,85 @@ class ServingReport:
             if r.image is not None
         ]
 
+    # ------------------------------------------------------------------
+    # SLO accounting (all zeros / None when the SLO subsystem was off)
+    # ------------------------------------------------------------------
+    @property
+    def n_shed(self) -> int:
+        """Requests rejected by SLO admission control."""
+        summary = self.slo()
+        return summary.shed if summary is not None else 0
+
+    @property
+    def n_degraded(self) -> int:
+        """Requests re-routed to the degraded small-model path."""
+        summary = self.slo()
+        return summary.degraded if summary is not None else 0
+
+    def slo(self) -> Optional[SloSummary]:
+        """Violation/shed/degraded summary; None when SLO mode was off."""
+        if not self._slo_summarized:
+            self._slo_summary = summarize_slo(self.records)
+            self._slo_summarized = True
+        return self._slo_summary
+
 
 class _ReadyQueue:
-    """Request queue split into a ready deque and a pending min-heap.
+    """Request queue split into a ready structure and a pending min-heap.
 
     Records enter their queue while still paying scheduler latency
     (``enqueued_s`` in the future).  The old implementation kept one deque
     and linearly re-scanned it on every pop, deleting from the middle —
     O(queue) per dispatch.  Here not-yet-ready records wait in a heap keyed
     by ``(enqueued_s, insertion seq)``; :meth:`pop` promotes everything
-    whose time has come onto the ready deque and pops left — O(log n)
-    amortized, O(1) when nothing promotes.
+    whose time has come into the ready structure — O(log n) amortized,
+    O(1) when nothing promotes.
 
-    Pop order is earliest-``enqueued_s`` first with insertion order
-    breaking ties.  Scheduler latency is non-decreasing over a run (it
-    grows with cache occupancy), so arrival order implies ``enqueued_s``
-    order and this is exactly the old first-ready-in-queue-order scan —
-    the seed-trace golden regression pins that equivalence.
+    In the default FIFO mode the ready structure is a deque and pop order
+    is earliest-``enqueued_s`` first with insertion order breaking ties.
+    Scheduler latency is non-decreasing over a run (it grows with cache
+    occupancy), so arrival order implies ``enqueued_s`` order and this is
+    exactly the old first-ready-in-queue-order scan — the seed-trace
+    golden regression pins that equivalence.
+
+    With ``edf=True`` (SLO mode) the ready structure is a min-heap keyed
+    by ``(priority, deadline, insertion seq)``: strict priority bands,
+    earliest deadline first within a band, FIFO among equal deadlines.
+    At any fixed dispatch instant, ordering by deadline is ordering by
+    slack, so this is the (priority, slack) order the SLO subsystem
+    specifies with EDF tie-breaking.  Records without a deadline sort
+    last within their priority band, in insertion order.
     """
 
-    __slots__ = ("_ready", "_pending", "_seq")
+    __slots__ = ("_ready", "_pending", "_seq", "_edf")
 
-    def __init__(self) -> None:
-        self._ready: Deque[RequestRecord] = collections.deque()
+    def __init__(self, edf: bool = False) -> None:
+        self._edf = edf
+        # FIFO: a deque of records.  EDF: a heap list of
+        # (priority, deadline, seq, record) tuples.
+        self._ready = collections.deque() if not edf else []
         self._pending: List[Tuple[float, int, RequestRecord]] = []
         self._seq = itertools.count()
+
+    def _add_ready(self, record: RequestRecord) -> None:
+        if self._edf:
+            deadline = (
+                record.deadline_s
+                if record.deadline_s is not None
+                else math.inf
+            )
+            heapq.heappush(
+                self._ready,
+                (record.priority, deadline, next(self._seq), record),
+            )
+        else:
+            self._ready.append(record)
 
     def push(self, record: RequestRecord, now: float) -> None:
         """Add ``record``; ready immediately if its latency has elapsed."""
         enqueued = record.enqueued_s
         if enqueued is None or enqueued <= now:
-            self._ready.append(record)
+            self._add_ready(record)
         else:
             heapq.heappush(
                 self._pending, (enqueued, next(self._seq), record)
@@ -223,15 +290,18 @@ class _ReadyQueue:
 
     def _promote(self, now: float) -> None:
         pending = self._pending
-        ready = self._ready
         while pending and pending[0][0] <= now:
-            ready.append(heapq.heappop(pending)[2])
+            self._add_ready(heapq.heappop(pending)[2])
 
     def pop(self, now: float) -> Optional[RequestRecord]:
-        """Earliest ready record, or None when none is ready yet."""
+        """Next ready record (FIFO or EDF order), or None."""
         self._promote(now)
         ready = self._ready
-        return ready.popleft() if ready else None
+        if not ready:
+            return None
+        if self._edf:
+            return heapq.heappop(ready)[3]
+        return ready.popleft()
 
     def has_ready(self, now: float) -> bool:
         """True when :meth:`pop` would return a record at ``now``."""
@@ -245,10 +315,17 @@ class _ReadyQueue:
     def __iter__(self) -> Iterator[RequestRecord]:
         """Queued records in pop order (ready first, then pending).
 
-        Iteration order matches the old single deque, which matters for
-        float-sum reproducibility in the Global Monitor's backlog metric.
+        Iteration order matches the old single deque in FIFO mode, which
+        matters for float-sum reproducibility in the Global Monitor's
+        backlog metric.
         """
-        yield from self._ready
+        if self._edf:
+            for _, _, _, record in sorted(
+                self._ready, key=lambda e: e[:3]
+            ):
+                yield record
+        else:
+            yield from self._ready
         for _, _, record in sorted(self._pending):
             yield record
 
@@ -271,6 +348,9 @@ class BaseServingSystem:
         self._seed = seed
         self._store_images = store_images
         self._model_sims: Dict[str, DiffusionModelSim] = {}
+        # Subclasses install a gate to opt into the SLO subsystem; None
+        # keeps every code path identical to the policy-free engine.
+        self._slo_gate: Optional[SloGate] = None
         self.stats = StatsCollector()
         self._reset_runtime()
 
@@ -335,8 +415,11 @@ class BaseServingSystem:
         self.records: List[RequestRecord] = []
         self._in_service: Dict[int, _WorkItem] = {}
         self._n_completed = 0
+        self._n_shed = 0
         self._n_expected = 0
         self.stats = StatsCollector()
+        if self._slo_gate is not None:
+            self._slo_gate.bind_stats(self.stats)
         # Idle-worker set: membership mirrors ``worker.is_idle`` at event
         # times, so dispatch never scans busy workers.
         self._idle_workers: Set[int] = set(
@@ -482,6 +565,8 @@ class BaseServingSystem:
         if self._store_images:
             record.image = result.image
         self._n_completed += 1
+        if self._slo_gate is not None:
+            self._slo_gate.record_completion(record, now)
         self._on_complete_image(record, result.image, now)
         self._on_complete(record, now)
         self._dispatch(now)
@@ -499,9 +584,37 @@ class BaseServingSystem:
             record.image = image
         self._n_completed += 1
 
+    def _install_slo_gate(
+        self, policy, reference_spec: ModelSpec
+    ) -> None:
+        """Opt this system into the SLO subsystem.
+
+        ``reference_spec`` is the model whose solo service time on this
+        cluster's GPU anchors multiplier-style deadlines (the large /
+        primary model).
+        """
+        self._slo_gate = SloGate(
+            policy,
+            reference_spec.service_time_s(
+                self._gpu.name, reference_spec.total_steps
+            ),
+            self.stats,
+        )
+
+    def _register_shed(self, record: RequestRecord) -> None:
+        """Account a request shed by SLO admission (it never queues)."""
+        assert record.rejection is not None
+        self._n_shed += 1
+
     @property
     def all_done(self) -> bool:
-        return self._n_completed >= self._n_expected
+        """Every expected request reached a terminal state.
+
+        Shed requests terminate at admission, so they count alongside
+        completions — otherwise a run with sheds would tick its monitor
+        forever.
+        """
+        return self._n_completed + self._n_shed >= self._n_expected
 
 
 def _pop_fifo(queue: Deque[RequestRecord]) -> Optional[RequestRecord]:
@@ -590,9 +703,23 @@ class MoDMSystem(BaseServingSystem):
             gpu_name=config.cluster.gpu_name,
             n_workers=config.cluster.n_workers,
         )
+        self._slo_edf = False
+        self._degrade_selector: Optional[KSelector] = None
+        if config.slo is not None:
+            self._install_slo_gate(config.slo, self._large_spec)
+            self._slo_edf = config.slo.edf
+            # The degrade cascade re-thresholds miss candidates through a
+            # more permissive selector (lower similarity bar, smaller k).
+            self._degrade_selector = base_selector.shifted(
+                -config.slo.degrade_threshold_shift
+            )
         self.allocations: List[AllocationEvent] = []
-        self._miss_queue = _ReadyQueue()
-        self._hit_queue = _ReadyQueue()
+        self._miss_queue = _ReadyQueue(edf=self._slo_edf)
+        self._hit_queue = _ReadyQueue(edf=self._slo_edf)
+        # Queued hit-path work in full-generation equivalents, maintained
+        # incrementally for O(1) admission-time wait estimates (only when
+        # the SLO gate is active).
+        self._hit_backlog_frac = 0.0
 
     # ------------------------------------------------------------------
     # Warm-up
@@ -611,8 +738,13 @@ class MoDMSystem(BaseServingSystem):
     # ------------------------------------------------------------------
     def _reset_runtime(self) -> None:
         super()._reset_runtime()
-        self._miss_queue = _ReadyQueue()
-        self._hit_queue = _ReadyQueue()
+        edf = getattr(self, "_slo_edf", False)
+        self._miss_queue = _ReadyQueue(edf=edf)
+        self._hit_queue = _ReadyQueue(edf=edf)
+        self._hit_backlog_frac = 0.0
+        # All workers start targeted at the large model; kept in sync by
+        # _apply_allocation so SLO admission never scans the worker list.
+        self._n_large_workers = self._cluster.n_workers
         self.allocations = []
         if hasattr(self, "monitor"):
             self.monitor.reset()
@@ -636,18 +768,34 @@ class MoDMSystem(BaseServingSystem):
             return
         window = self.stats.window(now, self.monitor.config.window_s)
         hit_backlog_workload = sum(
-            1.0 - record.decision.skip_fraction
-            for record in self._hit_queue
-            if record.decision is not None
+            self._hit_work_frac(record) for record in self._hit_queue
         )
+        slo_pressure = 0.0
+        if (
+            self._slo_gate is not None
+            and self._slo_gate.policy.monitor_pressure
+        ):
+            slo_pressure = self.stats.slo_window(
+                now, self.monitor.config.window_s
+            ).pressure
         allocation = self.monitor.allocate(
             window,
             miss_backlog=len(self._miss_queue),
             hit_backlog_workload=hit_backlog_workload,
+            slo_pressure=slo_pressure,
         )
         self._apply_allocation(allocation, now)
         self._schedule_monitor_tick()
         self._dispatch(now)
+
+    @staticmethod
+    def _hit_work_frac(record: RequestRecord) -> float:
+        """Hit-queue work of one record, in full-generation equivalents."""
+        if record.degraded:
+            return 1.0 - record.degrade_k_steps / REFERENCE_TOTAL_STEPS
+        if record.decision is None:
+            return 0.0
+        return 1.0 - record.decision.skip_fraction
 
     def _apply_allocation(self, allocation: Allocation, now: float) -> None:
         self.allocations.append(
@@ -658,6 +806,7 @@ class MoDMSystem(BaseServingSystem):
                 small_model=allocation.small_model,
             )
         )
+        self._n_large_workers = allocation.n_large
         # Minimal-switch assignment: workers already (heading) large keep
         # the large role first.
         large_name = self._large_spec.name
@@ -678,17 +827,123 @@ class MoDMSystem(BaseServingSystem):
         self, records: Sequence[RequestRecord], now: float
     ) -> None:
         # Same-tick arrivals embed and score as one matrix-matrix product.
+        gate = self._slo_gate
         decisions = self.scheduler.decide_batch(
-            [record.prompt for record in records], now
+            [record.prompt for record in records],
+            now,
+            keep_candidates=gate is not None and gate.policy.degrade,
         )
         for record, decision in zip(records, decisions):
             record.decision = decision
             record.enqueued_s = now + decision.scheduler_latency_s
-            if decision.hit:
-                self._hit_queue.push(record, now)
+            if gate is not None:
+                self._slo_admit(record, now)
+                if record.shed:
+                    self._register_shed(record)
+                    continue
+            if decision.hit or record.degraded:
+                self._push_hit(record, now)
             else:
                 self._miss_queue.push(record, now)
             self._schedule_queue_dispatch(record)
+
+    # ------------------------------------------------------------------
+    # SLO admission (gate active only)
+    # ------------------------------------------------------------------
+    def _slo_admit(self, record: RequestRecord, now: float) -> None:
+        """Assign the deadline and run accept/degrade/shed for one arrival.
+
+        Path estimates are deliberately simple and deterministic: queued
+        work ahead of this request over the effective parallelism of the
+        serving path, using the monitor's current worker split and small
+        model.  Model-switch load times are ignored (they are one-off
+        costs the PID damping already bounds).
+        """
+        gate = self._slo_gate
+        gate.assign(record)
+        decision = record.decision
+        gpu = self._gpu.name
+        large = self._large_spec
+        small = get_model(self.monitor.current_small)
+        n_small = self._cluster.n_workers - self._n_large_workers
+        n_large = max(1, self._n_large_workers)
+        small_full_s = small.service_time_s(gpu, small.total_steps)
+        if n_small > 0:
+            hit_wait = self._hit_backlog_frac * small_full_s / n_small
+        else:
+            # All-large allocation: hit-path work cannot start until the
+            # next monitor tick can grant a small worker (under pressure
+            # it will), so charge up to one period plus the backlog on
+            # that single future worker — no phantom capacity *now*.
+            hit_wait = (
+                self.monitor.config.period_s
+                + self._hit_backlog_frac * small_full_s
+            )
+
+        if decision.hit:
+            skipped = scale_k_steps(decision.k_steps, small.total_steps)
+            primary = PathEstimate(
+                name="small-refine",
+                wait_s=hit_wait,
+                service_s=small.service_time_s(
+                    gpu, small.total_steps - skipped
+                ),
+            )
+            gate.admit(record, now, primary)
+            return  # hits already ride the fast path; never degraded
+        large_service = large.service_time_s(gpu, large.total_steps)
+        primary = PathEstimate(
+            name="large",
+            wait_s=len(self._miss_queue) * large_service / n_large,
+            service_s=large_service,
+        )
+        degrade_k = 0
+        degrade_source = None
+        if (
+            self._degrade_selector is not None
+            and decision.candidate_image is not None
+        ):
+            k = self._degrade_selector.decide(
+                decision.candidate_similarity
+            )
+            if k is not None:
+                degrade_k = k
+                degrade_source = decision.candidate_image
+        if degrade_source is not None:
+            skipped = scale_k_steps(degrade_k, small.total_steps)
+            fallback = PathEstimate(
+                name="small-refine-degraded",
+                wait_s=hit_wait,
+                service_s=small.service_time_s(
+                    gpu, small.total_steps - skipped
+                ),
+                degraded=True,
+            )
+        else:
+            fallback = PathEstimate(
+                name="small-full-degraded",
+                wait_s=hit_wait,
+                service_s=small_full_s,
+                degraded=True,
+            )
+        verdict = gate.admit(record, now, primary, (fallback,))
+        if verdict.action == "degrade":
+            record.degraded = True
+            record.degrade_k_steps = degrade_k
+            record.degrade_source = degrade_source
+
+    def _push_hit(self, record: RequestRecord, now: float) -> None:
+        self._hit_queue.push(record, now)
+        if self._slo_gate is not None:
+            self._hit_backlog_frac += self._hit_work_frac(record)
+
+    def _pop_hit(self, now: float) -> Optional[RequestRecord]:
+        record = self._hit_queue.pop(now)
+        if record is not None and self._slo_gate is not None:
+            self._hit_backlog_frac = max(
+                0.0, self._hit_backlog_frac - self._hit_work_frac(record)
+            )
+        return record
 
     def _has_ready_work(self, now: float) -> bool:
         return self._miss_queue.has_ready(now) or self._hit_queue.has_ready(
@@ -709,12 +964,12 @@ class MoDMSystem(BaseServingSystem):
                     skipped_steps=0,
                 )
             # Large workers may refine hits when no misses wait (§4.2).
-            record = self._hit_queue.pop(now)
+            record = self._pop_hit(now)
             if record is not None:
                 return self._refine_item(record, self._large_spec)
             return None
         # Small workers exclusively refine cache hits (§4.2).
-        record = self._hit_queue.pop(now)
+        record = self._pop_hit(now)
         if record is not None:
             return self._refine_item(record, get_model(role))
         return None
@@ -722,6 +977,37 @@ class MoDMSystem(BaseServingSystem):
     def _refine_item(
         self, record: RequestRecord, spec: ModelSpec
     ) -> _WorkItem:
+        """Hit-queue work item: refine a hit, or serve a degraded miss.
+
+        Degraded requests (SLO cascade) either refine the miss's nearest
+        cache candidate with the permissive-selector ``k`` or, with no
+        usable candidate, run a full generation on the hit-path model —
+        degraded service, but within deadline.
+        """
+        if record.degraded:
+            if record.degrade_source is not None:
+                skipped = scale_k_steps(
+                    record.degrade_k_steps, spec.total_steps
+                )
+                return _WorkItem(
+                    record=record,
+                    model=self.model_sim(spec.name),
+                    steps=spec.total_steps - skipped,
+                    skipped_steps=skipped,
+                    source_image=record.degrade_source,
+                )
+            if spec.name == self._large_spec.name:
+                # An idle large worker drained this candidate-less
+                # degraded miss: the service it gets is a full large
+                # generation — the primary path after all, so it no
+                # longer counts as degraded.
+                record.degraded = False
+            return _WorkItem(
+                record=record,
+                model=self.model_sim(spec.name),
+                steps=spec.total_steps,
+                skipped_steps=0,
+            )
         decision = record.decision
         assert decision is not None and decision.retrieved_image is not None
         skipped = scale_k_steps(decision.k_steps, spec.total_steps)

@@ -63,6 +63,10 @@ EXPERIMENTS: Dict[str, tuple] = {
     ),
     "fig12": (figures.fig12_slo_2x, "SLO violation rate at 2x latency"),
     "fig13": (figures.fig13_slo_4x, "SLO violation rate at 4x latency"),
+    "slo_admission": (
+        figures.slo_admission,
+        "in-engine SLO admission & degradation under overload",
+    ),
     "fig14": (
         figures.fig14_tradeoff,
         "FID vs 1/throughput trade-off space (FLUX)",

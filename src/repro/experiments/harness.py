@@ -33,6 +33,7 @@ from repro.core.config import (
     ClusterConfig,
     MoDMConfig,
     MonitorMode,
+    SLOPolicy,
 )
 from repro.core.kselection import (
     KSelector,
@@ -345,6 +346,7 @@ class ExperimentContext:
         threshold_shift: float = 0.0,
         cache_policy: str = "fifo",
         use_pid: bool = True,
+        slo: Optional[SLOPolicy] = None,
     ) -> MoDMSystem:
         config = MoDMConfig(
             large_model=large,
@@ -356,6 +358,7 @@ class ExperimentContext:
             threshold_shift=threshold_shift,
             cache_policy=cache_policy,
             use_pid=use_pid,
+            slo=slo,
         )
         return MoDMSystem(self.space, config)
 
@@ -363,20 +366,23 @@ class ExperimentContext:
         self,
         cluster: ClusterConfig = CLUSTER_MI210,
         model: str = "sd3.5-large",
+        slo: Optional[SLOPolicy] = None,
     ) -> VanillaSystem:
-        return VanillaSystem(self.space, cluster, model=model)
+        return VanillaSystem(self.space, cluster, model=model, slo=slo)
 
     def nirvana(
         self,
         cluster: ClusterConfig = CLUSTER_MI210,
         model: str = "sd3.5-large",
         cache_capacity: Optional[int] = None,
+        slo: Optional[SLOPolicy] = None,
     ) -> NirvanaSystem:
         return NirvanaSystem(
             self.space,
             cluster,
             model=model,
             cache_capacity=cache_capacity or self.scale.cache_capacity,
+            slo=slo,
         )
 
     def pinecone(

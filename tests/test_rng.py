@@ -208,6 +208,44 @@ class TestNormalizeExtremeRange:
         vec = np.array([np.inf, 1.0])
         out = normalize(vec)
         assert out.shape == vec.shape
+        assert np.isfinite(out).all()
+        assert np.allclose(out, [1.0, 0.0])
+
+    def test_mixed_inf_signs_unit_norm(self):
+        out = normalize(np.array([np.inf, -np.inf, 5.0, 0.0]))
+        assert np.allclose(out, [0.5**0.5, -(0.5**0.5), 0.0, 0.0])
+        assert np.isclose(float(np.dot(out, out)), 1.0)
+
+    def test_nan_entries_treated_as_zero(self):
+        out = normalize(np.array([np.nan, 3.0, 4.0]))
+        assert np.allclose(out, [0.0, 0.6, 0.8])
+
+    def test_all_nan_maps_to_zero_vector(self):
+        out = normalize(np.array([np.nan, np.nan]))
+        assert (out == 0.0).all()
+
+    def test_nonfinite_matches_with_fast_path_disabled(self):
+        from repro._rng import directions_disabled
+
+        for raw in ([np.inf, 1.0], [np.nan, 3.0, 4.0], [np.inf, -np.inf]):
+            vec = np.array(raw)
+            fast = normalize(vec)
+            with directions_disabled():
+                slow = normalize(vec)
+            assert (fast == slow).all()
+
+    def test_huge_entries_idempotent_with_fast_path_disabled(self):
+        from repro._rng import directions_disabled
+
+        with directions_disabled():
+            once = normalize(np.array([1e200, -1e200, 3e199]))
+            assert np.isclose(float(np.dot(once, once)), 1.0)
+            assert np.allclose(normalize(once), once, atol=1e-12)
+
+    def test_huge_entries_2d_unit_frobenius(self):
+        mat = np.array([[1e200, 1.0], [-1e200, 3e199]])
+        out = normalize(mat)
+        assert np.isclose(float((out * out).sum()), 1.0)
 
     def test_normal_range_matches_linalg_norm(self):
         rng = rng_for("normalize-range")
