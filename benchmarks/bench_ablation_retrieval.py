@@ -6,7 +6,6 @@ images actually served.
 """
 
 from repro.core.config import CacheAdmission
-from repro.core.kselection import modm_default_selector
 from repro.core.retrieval import TextToTextRetrieval
 from repro.experiments.harness import CacheOnlyRun
 from repro.experiments.reporting import ExperimentResult

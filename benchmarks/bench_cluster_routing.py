@@ -1,0 +1,49 @@
+"""Cluster routing — cache-affinity vs load-only policies at 2/4/8 replicas.
+
+Deterministic and gating in CI at smoke scale: ``cache_affinity`` must
+beat ``round_robin`` on both fleet cache hit rate and p99 latency at 4
+replicas under equal offered load.  The JSON twin of the result table is
+written unconditionally (``benchmarks/results/cluster_routing.json`` +
+repo-root ``BENCH_cluster_routing.json``) so the perf trajectory records
+routing numbers for every PR alongside ``BENCH_serving.json``.
+"""
+
+import _output
+from conftest import run_experiment
+from repro.experiments.figures import cluster_routing
+
+
+def test_cluster_routing(benchmark, ctx):
+    result = run_experiment(benchmark, cluster_routing, ctx)
+    _output.write_json(
+        "cluster_routing",
+        _output.result_payload(result),
+        also_root="BENCH_cluster_routing.json",
+    )
+    rows = {(r["policy"], r["replicas"]): r for r in result.rows}
+
+    # Sharding one cache across replicas costs hit rate; every fleet
+    # stays below (or at) the single-engine reference.
+    single = rows[("single-engine", 1)]
+    assert all(
+        r["hit_rate"] <= single["hit_rate"] + 0.02
+        for r in result.rows
+    )
+
+    # Acceptance: cache-affinity routing wins on fleet hit rate and p99
+    # latency at 4 replicas under equal load.
+    affinity = rows[("cache_affinity", 4)]
+    round_robin = rows[("round_robin", 4)]
+    assert affinity["hit_rate"] > round_robin["hit_rate"]
+    assert affinity["p99_s"] < round_robin["p99_s"]
+
+    # Affinity's hit-rate edge should hold at every tested width.
+    for n in (2, 4, 8):
+        assert (
+            rows[("cache_affinity", n)]["hit_rate"]
+            >= rows[("round_robin", n)]["hit_rate"]
+        )
+
+    # Nothing is dropped: every row completed the whole serve trace.
+    served = single["completed"]
+    assert all(r["completed"] == served for r in result.rows)

@@ -10,8 +10,7 @@ Run:  python examples/gallery.py
 
 from __future__ import annotations
 
-from repro.core.kselection import modm_default_selector
-from repro.experiments.harness import CacheOnlyRun, ExperimentContext
+from repro.experiments.harness import ExperimentContext
 
 
 def main() -> None:

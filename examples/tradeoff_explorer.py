@@ -14,7 +14,6 @@ from __future__ import annotations
 from repro.core.config import CacheAdmission
 from repro.core.kselection import modm_default_selector
 from repro.experiments.harness import CacheOnlyRun, ExperimentContext
-from repro.metrics import FidMetric
 
 
 def main() -> None:

@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Regenerate the seed-trace golden payload and diff it against the pin.
+
+The tier-1 CI job runs this after the test suite and uploads both files
+as artifacts, so a golden divergence fails with a *readable* unified
+diff of the two JSON payloads instead of a bare hash-mismatch assert.
+
+Usage (repo root)::
+
+    PYTHONPATH=src python scripts/check_seed_golden.py \
+        [--out FRESH.json] [--update]
+
+Exit status: 0 when the freshly generated payload matches
+``tests/data/seed_golden.json`` byte for byte, 1 otherwise.
+``--update`` re-captures the golden in place (document why in the PR).
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import hashlib
+import json
+import os
+import sys
+
+from repro.core.config import ClusterConfig, MoDMConfig
+from repro.core.serving import MoDMSystem
+from repro.embedding.space import SemanticSpace
+from repro.workloads import DiffusionDBConfig, diffusiondb_trace
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))
+)
+GOLDEN_PATH = os.path.join(
+    REPO_ROOT, "tests", "data", "seed_golden.json"
+)
+
+
+def build_payload() -> dict:
+    """The exact payload the seed regression tests pin."""
+    space = SemanticSpace()
+    trace = diffusiondb_trace(
+        space,
+        DiffusionDBConfig(n_requests=300, seed="seed-regression"),
+    )
+    system = MoDMSystem(
+        space,
+        MoDMConfig(
+            cluster=ClusterConfig(gpu_name="MI210", n_workers=4),
+            cache_capacity=200,
+            small_models=("sdxl",),
+        ),
+    )
+    system.warm_cache([r.prompt for r in trace.requests[:60]])
+    report = system.run(trace.slice(60, 300).rebase())
+
+    times = sorted(report.completion_times())
+    times_sha = hashlib.sha256(
+        json.dumps([round(float(t), 6) for t in times]).encode()
+    ).hexdigest()
+    decisions = [
+        (
+            r.request_id,
+            r.decision.hit,
+            r.decision.k_steps,
+            round(r.decision.similarity, 9),
+        )
+        for r in report.records
+    ]
+    decision_sha = hashlib.sha256(
+        json.dumps(decisions).encode()
+    ).hexdigest()
+    return {
+        "hit_rate": report.hit_rate,
+        "k_rates": {
+            str(k): v for k, v in report.k_rates().items()
+        },
+        "completion_times_sum": float(
+            report.completion_times().sum()
+        ),
+        "completion_times_sha": times_sha,
+        "decision_sha": decision_sha,
+        "n_completed": report.n_completed,
+    }
+
+
+def render(payload: dict) -> str:
+    # No trailing newline: byte-for-byte the pinned file's format.
+    return json.dumps(payload, indent=2)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--golden",
+        default=GOLDEN_PATH,
+        help="pinned golden file (default: tests/data/seed_golden.json)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="also write the freshly generated payload here",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="re-capture the golden file in place instead of diffing",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = render(build_payload())
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(fresh)
+    if args.update:
+        with open(args.golden, "w") as handle:
+            handle.write(fresh)
+        print(f"re-captured {args.golden}")
+        return 0
+
+    with open(args.golden) as handle:
+        pinned = handle.read()
+    if fresh == pinned:
+        print(f"seed golden OK: fresh payload matches {args.golden}")
+        return 0
+    sys.stdout.writelines(
+        difflib.unified_diff(
+            pinned.splitlines(keepends=True),
+            fresh.splitlines(keepends=True),
+            fromfile="tests/data/seed_golden.json (pinned)",
+            tofile="freshly generated seed trace",
+        )
+    )
+    print(
+        "\nseed golden DIVERGED: serving behavior changed on the seed "
+        "trace.\nIf intentional, re-capture with --update and document "
+        "why in the PR.",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

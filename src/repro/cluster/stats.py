@@ -9,9 +9,10 @@ accumulates whole-run counters for the final report.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Deque, Dict, Sequence, Tuple
 
 
 #: SLO event kinds the collector accepts; admission events ("accept",
@@ -96,6 +97,38 @@ class StatsCollector:
         self.total_hits = 0
         self.total_misses = 0
         self.k_histogram: Dict[int, int] = {}
+
+    @classmethod
+    def merged(
+        cls, collectors: Sequence["StatsCollector"]
+    ) -> "StatsCollector":
+        """Fleet-wide collector: summed counters, time-merged events.
+
+        Used by the cluster serving layer to aggregate per-replica stats
+        into one fleet view.  Event streams are merged in timestamp order
+        (each replica's stream is already sorted), so windowed queries on
+        the merged collector answer fleet-wide questions.  The merge is a
+        snapshot — later recording should go to the per-replica
+        collectors, not the merged one.
+        """
+        out = cls(
+            max_window_s=max(
+                (c._max_window_s for c in collectors), default=3600.0
+            )
+        )
+        out._events = deque(
+            heapq.merge(*(c._events for c in collectors))
+        )
+        out._slo_events = deque(
+            heapq.merge(*(c._slo_events for c in collectors))
+        )
+        for collector in collectors:
+            out.total_arrivals += collector.total_arrivals
+            out.total_hits += collector.total_hits
+            out.total_misses += collector.total_misses
+            for k, count in collector.k_histogram.items():
+                out.k_histogram[k] = out.k_histogram.get(k, 0) + count
+        return out
 
     def record_decision(self, now: float, hit: bool, k: int = 0) -> None:
         """Record one scheduling decision (cache hit with ``k``, or miss)."""

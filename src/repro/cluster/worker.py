@@ -9,7 +9,7 @@ thrashing on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.diffusion.registry import GpuSpec, ModelSpec

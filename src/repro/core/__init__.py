@@ -25,9 +25,17 @@ from repro.core.baselines import (
     VanillaSystem,
 )
 from repro.core.cache import CacheEntry, ImageCache, LatentCache
+from repro.core.cluster_router import (
+    ClusterReport,
+    ClusterRouter,
+    ClusterServingSystem,
+    ReplicaAutoscaler,
+    modm_cluster,
+)
 from repro.core.config import (
     CacheAdmission,
     ClusterConfig,
+    ClusterRoutingConfig,
     MoDMConfig,
     MonitorMode,
     SLOClass,
@@ -61,6 +69,10 @@ __all__ = [
     "CacheAdmission",
     "CacheEntry",
     "ClusterConfig",
+    "ClusterReport",
+    "ClusterRouter",
+    "ClusterRoutingConfig",
+    "ClusterServingSystem",
     "Decision",
     "GlobalMonitor",
     "ImageCache",
@@ -74,6 +86,7 @@ __all__ = [
     "PIDController",
     "PathEstimate",
     "PineconeSystem",
+    "ReplicaAutoscaler",
     "RequestRecord",
     "RequestScheduler",
     "SLOClass",
@@ -87,6 +100,7 @@ __all__ = [
     "TextToTextRetrieval",
     "VanillaSystem",
     "derive_thresholds",
+    "modm_cluster",
     "modm_default_selector",
     "nirvana_default_selector",
     "summarize_slo",

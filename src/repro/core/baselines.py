@@ -83,7 +83,7 @@ class VanillaSystem(BaseServingSystem):
                     name="full",
                     wait_s=len(self._queue)
                     * service
-                    / self._cluster.n_workers,
+                    / max(1, len(self.workers)),
                     service_s=service,
                 ),
             )
@@ -94,6 +94,12 @@ class VanillaSystem(BaseServingSystem):
 
     def _has_ready_work(self, now: float) -> bool:
         return bool(self._queue)
+
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def _default_worker_model(self) -> Optional[str]:
+        return self._spec.name
 
     def _next_work(self, worker, now: float) -> Optional[_WorkItem]:
         if not self._queue:
@@ -257,7 +263,8 @@ class NirvanaSystem(BaseServingSystem):
                 now,
                 PathEstimate(
                     name="hit" if record.decision.hit else "full",
-                    wait_s=self._queue_work_s / self._cluster.n_workers,
+                    wait_s=self._queue_work_s
+                    / max(1, len(self.workers)),
                     service_s=service,
                 ),
             )
@@ -321,6 +328,12 @@ class NirvanaSystem(BaseServingSystem):
             steps=self._spec.total_steps,
             skipped_steps=0,
         )
+
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def _default_worker_model(self) -> Optional[str]:
+        return self._spec.name
 
     def _worker_overhead_s(self, item: _WorkItem) -> float:
         # Hits block the worker while the 2.5 MB latent stack loads.
@@ -436,6 +449,12 @@ class PineconeSystem(BaseServingSystem):
     def _has_ready_work(self, now: float) -> bool:
         # FIFO with head-of-line semantics: ready iff the head is ready.
         return bool(self._queue) and self._queue[0].enqueued_s <= now
+
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def _default_worker_model(self) -> Optional[str]:
+        return self._spec.name
 
     def _next_work(self, worker, now: float) -> Optional[_WorkItem]:
         if not self._queue or self._queue[0].enqueued_s > now:

@@ -272,6 +272,9 @@ class VectorCache(Generic[PayloadT]):
         self._policy = make_eviction_policy(policy)
         self._matrix = np.zeros((capacity, embed_dim))
         self._live = np.zeros(capacity, dtype=bool)
+        # Running sum of live embeddings — an O(d) centroid sketch the
+        # cluster router's cache-affinity policy reads on every arrival.
+        self._embedding_sum = np.zeros(embed_dim)
         self._entries: List[Optional[CacheEntry[PayloadT]]] = (
             [None] * capacity
         )
@@ -317,6 +320,20 @@ class VectorCache(Generic[PayloadT]):
         """Scheduler-side latency of one similarity scan at current size."""
         return len(self) * RETRIEVAL_SECONDS_PER_ENTRY
 
+    def centroid(self) -> Optional[np.ndarray]:
+        """Mean of the live embeddings, or None when the cache is empty.
+
+        Maintained as a running sum (O(d) per insert/evict, never a
+        matrix scan), so the cluster router can read a semantic sketch of
+        this cache's contents on every arrival.  The running sum drifts
+        from the exact column mean by float-accumulation error only,
+        which is irrelevant at routing granularity.
+        """
+        n = len(self)
+        if n == 0:
+            return None
+        return self._embedding_sum / n
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
@@ -345,6 +362,7 @@ class VectorCache(Generic[PayloadT]):
         self._entries[slot] = entry
         self._matrix[slot] = entry.embedding
         self._live[slot] = True
+        self._embedding_sum += entry.embedding
         self._slot_of[entry.entry_id] = slot
         self._policy.on_insert(slot, entry)
         self.last_inserted = entry
@@ -358,6 +376,7 @@ class VectorCache(Generic[PayloadT]):
         self._entries[slot] = None
         self._matrix[slot] = 0.0
         self._live[slot] = False
+        self._embedding_sum -= entry.embedding
         self._slot_of.pop(entry.entry_id, None)
         self._free_slots.append(slot)
         self._policy.on_evict(slot, entry)
@@ -590,6 +609,18 @@ class ShardedVectorCache(Generic[PayloadT]):
         return max(
             s.retrieval_latency_s() for s in self._shards
         )
+
+    def centroid(self) -> Optional[np.ndarray]:
+        """Occupancy-weighted mean across shard centroids (None if empty)."""
+        total = len(self)
+        if total == 0:
+            return None
+        acc = np.zeros(self._embed_dim)
+        for shard in self._shards:
+            n = len(shard)
+            if n:
+                acc += shard._embedding_sum
+        return acc / total
 
     def shard_stats(self) -> List[Dict[str, int]]:
         """Per-shard occupancy and traffic counters."""

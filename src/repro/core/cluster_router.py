@@ -1,0 +1,892 @@
+"""Multi-replica cluster serving: routing, autoscaling, aggregation.
+
+The paper's Global Monitor manages one worker pool behind one cache.  At
+production scale a deployment runs N serving *replicas* — each with its
+own cache shard, scheduler, monitor, and worker pool — fronted by a
+router that decides where every request lands.  This module supplies
+that layer:
+
+* :class:`ClusterRouter` with pluggable :data:`ROUTING_POLICY_REGISTRY`
+  policies — ``round_robin``, ``least_loaded`` (queue-depth weighted),
+  and ``cache_affinity`` (nearest cache-centroid sketch, with a
+  load-imbalance cap that spills to the least-loaded replica);
+* :class:`ReplicaAutoscaler` — extends the Global Monitor's demand
+  estimation across replicas: per-replica window stats (hit rate, queue
+  depth, SLO pressure) drive a demand-proportional worker split, damped
+  by per-replica PID controllers so allocations do not thrash, applied
+  by moving *idle* workers between replicas;
+* :class:`ClusterServingSystem` — N engines under one shared event
+  clock; with ``n_replicas=1`` every decision is bit-for-bit identical
+  to running the wrapped engine directly (pinned by the seed golden
+  regression);
+* :class:`ClusterReport` — per-replica plus fleet-wide hit/latency/SLO
+  accounting.
+
+Determinism contract: routing, autoscaling, and dispatch are pure
+functions of simulation state — ties break toward the lowest replica
+index, worker transfers pick the highest-id idle worker, and all
+periodic machinery runs on the shared deterministic event loop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Type,
+)
+
+import numpy as np
+
+from repro.cluster.energy import EnergyMeter
+from repro.cluster.events import EventLoop
+from repro.cluster.stats import StatsCollector
+from repro.core.config import (
+    ClusterRoutingConfig,
+    MoDMConfig,
+    ROUTING_POLICIES,
+)
+from repro.core.monitor import estimate_workloads
+from repro.core.pid import PIDController
+from repro.core.request import RequestRecord
+from repro.core.retrieval import (
+    TextToImageRetrieval,
+    TextToTextRetrieval,
+)
+from repro.core.serving import BaseServingSystem, MoDMSystem, ServingReport
+from repro.metrics.latency import percentile
+from repro.embedding.space import SemanticSpace
+from repro.workloads.prompts import Prompt
+from repro.workloads.trace import Trace
+
+QueryEmbedder = Callable[[Prompt], np.ndarray]
+
+
+# ----------------------------------------------------------------------
+# Routing policies
+# ----------------------------------------------------------------------
+class RoutingPolicy:
+    """Chooses the replica index for one request.
+
+    ``loads`` is the per-replica load signal (queued + in-service, or
+    cache occupancy during warm-up) and ``centroids`` the per-replica
+    cache-centroid sketches (``None`` for empty or cache-less replicas).
+    Implementations must be deterministic: equal scores resolve to the
+    lowest replica index.
+    """
+
+    name = "base"
+    #: Whether :meth:`route` wants the request's query embedding; the
+    #: router only embeds (and the convenience constructors only wire an
+    #: embedder) for policies that declare it.
+    needs_query = False
+    #: Whether :meth:`route` reads the per-replica centroid sketches;
+    #: the router skips the per-arrival centroid reads otherwise.
+    needs_centroids = False
+
+    @classmethod
+    def from_config(
+        cls, config: ClusterRoutingConfig
+    ) -> "RoutingPolicy":
+        """Build an instance wired to the config's tunables.
+
+        The base construction takes none; policies with knobs (the
+        affinity cap/slack) override this, so registered policies never
+        silently drop config parameters.
+        """
+        return cls()
+
+    def reset(self) -> None:
+        """Clear per-run state (round-robin counters)."""
+
+    def route(
+        self,
+        query: Optional[np.ndarray],
+        loads: Sequence[int],
+        centroids: Sequence[Optional[np.ndarray]],
+    ) -> int:
+        raise NotImplementedError
+
+
+#: Registry of routing policies by name; keys mirror
+#: :data:`repro.core.config.ROUTING_POLICIES`.
+ROUTING_POLICY_REGISTRY: Dict[str, Type[RoutingPolicy]] = {}
+
+
+def register_routing_policy(name: str):
+    """Class decorator adding a :class:`RoutingPolicy` to the registry."""
+
+    def decorate(cls: Type[RoutingPolicy]) -> Type[RoutingPolicy]:
+        cls.name = name
+        ROUTING_POLICY_REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def _least_loaded_index(loads: Sequence[int]) -> int:
+    """Lowest-load replica; lowest index breaks ties."""
+    return min(range(len(loads)), key=lambda i: (loads[i], i))
+
+
+@register_routing_policy("round_robin")
+class RoundRobinRouting(RoutingPolicy):
+    """Arrival order modulo replica count."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def reset(self) -> None:
+        self._next = 0
+
+    def route(self, query, loads, centroids) -> int:
+        idx = self._next % len(loads)
+        self._next += 1
+        return idx
+
+
+@register_routing_policy("least_loaded")
+class LeastLoadedRouting(RoutingPolicy):
+    """Fewest queued + in-service requests wins."""
+
+    def route(self, query, loads, centroids) -> int:
+        return _least_loaded_index(loads)
+
+
+@register_routing_policy("cache_affinity")
+class CacheAffinityRouting(RoutingPolicy):
+    """Nearest cache-centroid sketch, capped by load imbalance.
+
+    A request's hit probability depends on *which* replica's cache holds
+    its semantic neighbors, so the router scores the request embedding
+    against every replica's centroid sketch and sends it to the nearest
+    one.  Equal similarities keep the lowest replica index (strict ``>``
+    comparison), so equidistant replicas tie-break deterministically.
+
+    The affinity choice is overridden when it would pile load onto an
+    already-hot replica: if the chosen replica's load exceeds
+    ``imbalance_cap x min_load + spill_slack`` the request spills to the
+    least-loaded replica instead.  Requests without a usable embedding
+    or centroids (cold caches, cache-less systems) also fall back to
+    least-loaded.
+    """
+
+    needs_query = True
+    needs_centroids = True
+
+    @classmethod
+    def from_config(
+        cls, config: ClusterRoutingConfig
+    ) -> "CacheAffinityRouting":
+        return cls(
+            imbalance_cap=config.imbalance_cap,
+            spill_slack=config.spill_slack,
+        )
+
+    def __init__(
+        self, imbalance_cap: float = 2.0, spill_slack: int = 8
+    ) -> None:
+        if imbalance_cap < 1.0:
+            raise ValueError("imbalance_cap must be >= 1.0")
+        if spill_slack < 0:
+            raise ValueError("spill_slack must be non-negative")
+        self.imbalance_cap = imbalance_cap
+        self.spill_slack = spill_slack
+
+    def route(self, query, loads, centroids) -> int:
+        best = -1
+        best_sim = -math.inf
+        if query is not None:
+            qnorm = math.sqrt(float(np.dot(query, query)))
+            if qnorm > 0.0:
+                for i, centroid in enumerate(centroids):
+                    if centroid is None:
+                        continue
+                    cnorm = math.sqrt(
+                        float(np.dot(centroid, centroid))
+                    )
+                    if cnorm == 0.0:
+                        continue
+                    sim = float(np.dot(query, centroid)) / (
+                        qnorm * cnorm
+                    )
+                    if sim > best_sim:
+                        best = i
+                        best_sim = sim
+        least = _least_loaded_index(loads)
+        if best < 0:
+            return least
+        if loads[best] > (
+            self.imbalance_cap * loads[least] + self.spill_slack
+        ):
+            return least
+        return best
+
+
+def make_routing_policy(config: ClusterRoutingConfig) -> RoutingPolicy:
+    """Instantiate the configured policy; raises on unknown names."""
+    try:
+        cls = ROUTING_POLICY_REGISTRY[config.policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown routing policy {config.policy!r}; "
+            f"available: {sorted(ROUTING_POLICY_REGISTRY)}"
+        ) from None
+    return cls.from_config(config)
+
+
+# ----------------------------------------------------------------------
+# Router
+# ----------------------------------------------------------------------
+class ClusterRouter:
+    """Routes arrivals (and warm-up prompts) across replicas.
+
+    Within a same-tick arrival batch, loads are advanced as requests are
+    assigned so load-aware policies spread a burst instead of dog-piling
+    one replica.  Query embeddings are computed through the shared
+    process-wide encoder memos, so the router's embed and the replica
+    scheduler's embed of the same prompt cost one encoding.
+    """
+
+    def __init__(
+        self,
+        config: ClusterRoutingConfig,
+        query_embedder: Optional[QueryEmbedder] = None,
+        query_batch_embedder: Optional[
+            Callable[[Sequence[Prompt]], np.ndarray]
+        ] = None,
+    ):
+        self.config = config
+        self.policy = make_routing_policy(config)
+        self._embed = query_embedder
+        self._embed_batch = query_batch_embedder
+
+    def reset(self) -> None:
+        self.policy.reset()
+
+    def _query(self, prompt: Prompt) -> Optional[np.ndarray]:
+        if self._embed is None or not self.policy.needs_query:
+            return None
+        return self._embed(prompt)
+
+    def _queries(
+        self, records: Sequence[RequestRecord]
+    ) -> List[Optional[np.ndarray]]:
+        """Query embeddings per record (None when the policy skips them).
+
+        Multi-record batches go through the vectorized batch encoder
+        when one is wired — the same matrix-level path the replica
+        scheduler uses for same-tick arrivals.
+        """
+        if self._embed is None or not self.policy.needs_query:
+            return [None] * len(records)
+        if self._embed_batch is not None and len(records) > 1:
+            matrix = self._embed_batch(
+                [record.prompt for record in records]
+            )
+            return [matrix[i] for i in range(len(records))]
+        return [self._embed(record.prompt) for record in records]
+
+    @staticmethod
+    def _centroid(replica: BaseServingSystem) -> Optional[np.ndarray]:
+        cache = getattr(replica, "cache", None)
+        if cache is None or not hasattr(cache, "centroid"):
+            return None
+        return cache.centroid()
+
+    def _centroids(
+        self, replicas: Sequence[BaseServingSystem]
+    ) -> List[Optional[np.ndarray]]:
+        """Per-replica sketches, skipped for policies that ignore them."""
+        if not self.policy.needs_centroids:
+            return [None] * len(replicas)
+        return [self._centroid(replica) for replica in replicas]
+
+    def route_batch(
+        self,
+        records: Sequence[RequestRecord],
+        replicas: Sequence[BaseServingSystem],
+    ) -> List[int]:
+        """Replica index per record, with in-batch load accounting."""
+        if len(replicas) == 1:
+            # Single replica: every policy is the identity; skip the
+            # embedding and load reads entirely.
+            return [0] * len(records)
+        loads = [replica.load() for replica in replicas]
+        centroids = self._centroids(replicas)
+        out: List[int] = []
+        for record, query in zip(records, self._queries(records)):
+            idx = self.policy.route(query, loads, centroids)
+            loads[idx] += 1
+            out.append(idx)
+        return out
+
+    def route_warm(
+        self,
+        prompt: Prompt,
+        replicas: Sequence[BaseServingSystem],
+    ) -> int:
+        """Warm-up placement: cache occupancy is the load signal.
+
+        Under ``cache_affinity`` this performs online semantic
+        clustering of the warm set (each placement updates the chosen
+        replica's centroid), so shards start coherent instead of
+        uniformly mixed.
+        """
+        if len(replicas) == 1:
+            return 0
+        loads = [
+            len(getattr(replica, "cache", ())) for replica in replicas
+        ]
+        centroids = self._centroids(replicas)
+        return self.policy.route(self._query(prompt), loads, centroids)
+
+
+# ----------------------------------------------------------------------
+# Replica autoscaler
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TransferEvent:
+    """One worker moved between replicas by the autoscaler."""
+
+    time_s: float
+    worker_id: int
+    src_replica: int
+    dst_replica: int
+
+
+class ReplicaAutoscaler:
+    """PID-damped demand-proportional worker split across replicas.
+
+    Each period the autoscaler reads every replica's window stats and
+    derives its demand in full-generation equivalents per minute (the
+    Global Monitor's Algorithm-1 estimator, via
+    :func:`~repro.core.monitor.estimate_workloads`, with the replica's
+    queue depth folded in as backlog and SLO pressure as a multiplier).
+    Raw demand shares are damped through one PID controller per replica
+    before integerizing, so a one-window blip shifts the split by a
+    fraction of a worker instead of slamming it — the anti-thrash
+    property the edge-case tests pin.
+
+    Integerization is deterministic: floor + largest fractional
+    remainder (lowest index breaking ties), every replica keeping at
+    least ``min_workers_per_replica``.
+    """
+
+    def __init__(
+        self,
+        config: ClusterRoutingConfig,
+        initial_counts: Sequence[int],
+    ):
+        if not initial_counts:
+            raise ValueError("need at least one replica")
+        self._config = config
+        self._total = sum(initial_counts)
+        self._min = config.min_workers_per_replica
+        if self._min * len(initial_counts) > self._total:
+            raise ValueError(
+                f"min_workers_per_replica={self._min} x "
+                f"{len(initial_counts)} replicas exceeds the "
+                f"{self._total}-worker fleet"
+            )
+        self._pids = [
+            PIDController(
+                kp=config.autoscale_kp,
+                ki=config.autoscale_ki,
+                kd=config.autoscale_kd,
+            )
+            for _ in initial_counts
+        ]
+        self._smooth = [float(c) for c in initial_counts]
+
+    @property
+    def total_workers(self) -> int:
+        return self._total
+
+    def replica_demand(
+        self, replica: BaseServingSystem, now: float
+    ) -> float:
+        """One replica's demand signal, full-generations/min."""
+        window = replica.stats.window(
+            now, self._config.autoscale_window_s
+        )
+        miss, hit = estimate_workloads(
+            window,
+            miss_backlog=replica.queue_depth(),
+            period_s=self._config.autoscale_period_s,
+        )
+        pressure = replica.stats.slo_window(
+            now, self._config.autoscale_window_s
+        ).pressure
+        return (miss + hit) * (1.0 + pressure)
+
+    def desired(
+        self, replicas: Sequence[BaseServingSystem], now: float
+    ) -> List[int]:
+        """Target worker counts for this period (sums to the fleet)."""
+        return self.targets(
+            [self.replica_demand(r, now) for r in replicas]
+        )
+
+    def targets(self, demands: Sequence[float]) -> List[int]:
+        """Damped integer split for raw per-replica ``demands``."""
+        if len(demands) != len(self._smooth):
+            raise ValueError("one demand per replica required")
+        total_demand = sum(demands)
+        if total_demand <= 0.0:
+            # No demand signal anywhere: hold the split steady.
+            return self._integerize(self._smooth)
+        raw = [d / total_demand * self._total for d in demands]
+        for i, pid in enumerate(self._pids):
+            self._smooth[i] += pid.compute(raw[i], self._smooth[i])
+        return self._integerize(self._smooth)
+
+    def _integerize(self, floats: Sequence[float]) -> List[int]:
+        n = len(floats)
+        counts = [max(self._min, math.floor(f)) for f in floats]
+        while sum(counts) > self._total:
+            # Shave the largest count above the floor (highest index
+            # first among equals, so low replicas keep workers).
+            over = [i for i in range(n) if counts[i] > self._min]
+            counts[max(over, key=lambda j: (counts[j], j))] -= 1
+        remaining = self._total - sum(counts)
+        if remaining > 0:
+            order = sorted(
+                range(n),
+                key=lambda j: (-(floats[j] - math.floor(floats[j])), j),
+            )
+            for step in range(remaining):
+                counts[order[step % n]] += 1
+        return counts
+
+
+# ----------------------------------------------------------------------
+# Cluster report
+# ----------------------------------------------------------------------
+@dataclass
+class ClusterReport:
+    """Per-replica and fleet-wide accounting of one cluster run."""
+
+    policy: str
+    fleet: ServingReport
+    replicas: List[ServingReport]
+    routed: List[int]
+    transfers: List[TransferEvent] = field(default_factory=list)
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fleet-wide cache hit rate."""
+        return self.fleet.hit_rate
+
+    @property
+    def n_completed(self) -> int:
+        return self.fleet.n_completed
+
+    def per_replica_hit_rates(self) -> List[float]:
+        return [report.hit_rate for report in self.replicas]
+
+    def latency_percentile_s(self, q: float) -> float:
+        """Fleet latency percentile (0-100); 0.0 with no completions."""
+        latencies = self.fleet.latencies()
+        if latencies.size == 0:
+            return 0.0
+        return percentile(latencies, q)
+
+    def summary_row(self) -> Dict[str, object]:
+        """One table row of headline fleet numbers."""
+        fleet = self.fleet
+        slo = fleet.slo()
+        return {
+            "policy": self.policy,
+            "replicas": self.n_replicas,
+            "hit_rate": self.hit_rate,
+            "p50_s": self.latency_percentile_s(50.0),
+            "p99_s": self.latency_percentile_s(99.0),
+            "throughput_rpm": fleet.throughput_rpm,
+            "completed": fleet.n_completed,
+            "shed": fleet.n_shed,
+            "violation_rate": (
+                slo.violation_rate if slo is not None else 0.0
+            ),
+            "transfers": len(self.transfers),
+        }
+
+
+class _FleetState:
+    """Shared run-termination view the replicas consult via ``all_done``."""
+
+    __slots__ = ("expected", "replicas")
+
+    def __init__(
+        self, expected: int, replicas: Sequence[BaseServingSystem]
+    ):
+        self.expected = expected
+        self.replicas = replicas
+
+    @property
+    def all_done(self) -> bool:
+        return (
+            sum(r.n_terminal for r in self.replicas) >= self.expected
+        )
+
+
+# ----------------------------------------------------------------------
+# Cluster serving system
+# ----------------------------------------------------------------------
+class ClusterServingSystem:
+    """N serving replicas under one event clock, fronted by a router.
+
+    ``replica_factory(i)`` builds replica ``i`` — any
+    :class:`BaseServingSystem` subclass works, so Vanilla/Nirvana
+    baselines ride the same router as MoDM and comparisons stay
+    apples-to-apples.  Worker ids are offset per replica so they are
+    fleet-unique (replica 0 keeps ids ``0..k-1``, preserving the
+    single-replica golden trace bit for bit).
+    """
+
+    def __init__(
+        self,
+        space: SemanticSpace,
+        replica_factory: Callable[[int], BaseServingSystem],
+        routing: Optional[ClusterRoutingConfig] = None,
+        query_embedder: Optional[QueryEmbedder] = None,
+        query_batch_embedder: Optional[
+            Callable[[Sequence[Prompt]], np.ndarray]
+        ] = None,
+        name: Optional[str] = None,
+    ):
+        self._space = space
+        self.routing = routing or ClusterRoutingConfig()
+        self.replicas: List[BaseServingSystem] = [
+            replica_factory(i) for i in range(self.routing.n_replicas)
+        ]
+        inner = sorted({r.name for r in self.replicas})
+        self.name = name or (
+            f"cluster-{'+'.join(inner)}"
+            f"-x{len(self.replicas)}-{self.routing.policy}"
+        )
+        self.router = ClusterRouter(
+            self.routing, query_embedder, query_batch_embedder
+        )
+        self._autoscaler: Optional[ReplicaAutoscaler] = None
+        self._make_autoscaler()
+        self.loop = EventLoop()
+        self.records: List[RequestRecord] = []
+        self.routed_counts: List[int] = [0] * len(self.replicas)
+        self.transfers: List[TransferEvent] = []
+        self._fleet_state: Optional[_FleetState] = None
+
+    def _make_autoscaler(self) -> None:
+        """Fresh autoscaler state (PID, smoothed split) for a run."""
+        if self.routing.autoscale and len(self.replicas) > 1:
+            self._autoscaler = ReplicaAutoscaler(
+                self.routing,
+                [r._cluster.n_workers for r in self.replicas],
+            )
+        else:
+            self._autoscaler = None
+
+    # ------------------------------------------------------------------
+    # Warm-up
+    # ------------------------------------------------------------------
+    def warm_cache(
+        self, prompts: Sequence[Prompt], seed: str = "warmup"
+    ) -> None:
+        """Distribute warm-up generations across replica caches.
+
+        Placement runs the routing policy with cache occupancy as the
+        load signal; with one replica the whole warm set lands on it in
+        order, exactly as in a single-engine run.
+        """
+        self.router.reset()
+        for prompt in prompts:
+            idx = self.router.route_warm(prompt, self.replicas)
+            self.replicas[idx].warm_cache([prompt], seed=seed)
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    def run(
+        self, trace: Trace, until: Optional[float] = None
+    ) -> ClusterReport:
+        """Serve ``trace`` across the fleet; returns the cluster report."""
+        loop = EventLoop()
+        self.loop = loop
+        self.records = []
+        self.routed_counts = [0] * len(self.replicas)
+        self.transfers = []
+        self.router.reset()
+        # Rebuild the autoscaler so a second run starts from the
+        # configured split, not the previous run's PID state.
+        self._make_autoscaler()
+        fleet = _FleetState(len(trace), self.replicas)
+        self._fleet_state = fleet
+        for replica in self.replicas:
+            replica._reset_runtime()
+            replica.loop = loop
+            replica._fleet = fleet
+        self._offset_worker_ids()
+
+        # Same batching as BaseServingSystem.run: same-tick arrivals
+        # route and decide as one group.
+        batch: List[RequestRecord] = []
+        for request in trace:
+            record = RequestRecord(
+                request_id=request.request_id,
+                prompt=request.prompt,
+                arrival_s=request.arrival_s,
+            )
+            self.records.append(record)
+            if batch and batch[0].arrival_s != record.arrival_s:
+                self._schedule_batch(batch)
+                batch = []
+            batch.append(record)
+        if batch:
+            self._schedule_batch(batch)
+        for replica in self.replicas:
+            replica._on_run_start()
+        if self._autoscaler is not None:
+            loop.schedule_in(
+                self.routing.autoscale_period_s, self._autoscale_tick
+            )
+        loop.run(until=until)
+        return self._build_report(trace)
+
+    def _schedule_batch(self, batch: List[RequestRecord]) -> None:
+        self.loop.schedule(
+            batch[0].arrival_s,
+            lambda now, recs=tuple(batch): self._arrive_batch(
+                recs, now
+            ),
+        )
+
+    def _arrive_batch(
+        self, records: Sequence[RequestRecord], now: float
+    ) -> None:
+        indices = self.router.route_batch(records, self.replicas)
+        groups: Dict[int, List[RequestRecord]] = {}
+        for record, idx in zip(records, indices):
+            record.replica_id = idx
+            self.routed_counts[idx] += 1
+            groups.setdefault(idx, []).append(record)
+        for idx in sorted(groups):
+            replica = self.replicas[idx]
+            group = groups[idx]
+            replica._n_expected += len(group)
+            replica.records.extend(group)
+            replica._handle_arrivals(group, now)
+            replica._dispatch(now)
+
+    # ------------------------------------------------------------------
+    # Autoscaling
+    # ------------------------------------------------------------------
+    def _autoscale_tick(self, now: float) -> None:
+        assert self._autoscaler is not None
+        if self._fleet_state is not None and self._fleet_state.all_done:
+            return
+        targets = self._autoscaler.desired(self.replicas, now)
+        self._apply_targets(targets, now)
+        self.loop.schedule_in(
+            self.routing.autoscale_period_s, self._autoscale_tick
+        )
+
+    def _apply_targets(
+        self, targets: Sequence[int], now: float
+    ) -> None:
+        """Move idle workers from over- to under-allocated replicas.
+
+        Busy workers never move: a donor short on idle workers
+        contributes what it can and the remainder carries to the next
+        period (the PID state keeps pulling toward the target).
+        """
+        counts = [len(r.workers) for r in self.replicas]
+        deficits = [
+            i
+            for i in range(len(self.replicas))
+            if targets[i] > counts[i]
+        ]
+        touched: set = set()
+        for dst in deficits:
+            needed = targets[dst] - counts[dst]
+            for src in range(len(self.replicas)):
+                if needed <= 0:
+                    break
+                surplus = counts[src] - targets[src]
+                if surplus <= 0:
+                    continue
+                # Highest-id idle workers move; low ids stay home.
+                idle = self.replicas[src].idle_worker_ids()
+                movable = idle[::-1][:min(surplus, needed)]
+                for worker_id in movable:
+                    worker = self.replicas[src].release_worker(
+                        worker_id
+                    )
+                    self.replicas[dst].adopt_worker(worker, now)
+                    counts[src] -= 1
+                    counts[dst] += 1
+                    needed -= 1
+                    self.transfers.append(
+                        TransferEvent(
+                            time_s=now,
+                            worker_id=worker_id,
+                            src_replica=src,
+                            dst_replica=dst,
+                        )
+                    )
+                if movable:
+                    touched.add(dst)
+        for dst in sorted(touched):
+            self.replicas[dst]._dispatch(now)
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def _offset_worker_ids(self) -> None:
+        offset = 0
+        for replica in self.replicas:
+            if offset:
+                for worker in replica.workers:
+                    worker.worker_id += offset
+                replica._workers_by_id = {
+                    w.worker_id: w for w in replica.workers
+                }
+                replica._idle_workers = set(replica._workers_by_id)
+            offset += len(replica.workers)
+
+    def _build_report(self, trace: Trace) -> ClusterReport:
+        """Assemble per-replica and fleet reports.
+
+        Per-replica energy attributes each worker's whole-run energy to
+        the replica holding it at the end of the run — after autoscaler
+        transfers a moved worker's history moves with it, so per-replica
+        energy splits are approximate whenever ``transfers`` is
+        non-empty.  The fleet energy total is exact regardless.
+        """
+        makespan = max(
+            (r.completion_s for r in self.records if r.completed),
+            default=self.loop.now,
+        )
+        meter = EnergyMeter()
+        per_replica: List[ServingReport] = []
+        for replica in self.replicas:
+            report = replica._build_report(
+                trace, meter.measure(replica.workers, makespan)
+            )
+            per_replica.append(report)
+        all_workers = [w for r in self.replicas for w in r.workers]
+        fleet = ServingReport(
+            system=self.name,
+            trace_name=trace.name,
+            records=self.records,
+            energy=meter.measure(all_workers, makespan),
+            workers=all_workers,
+            stats=StatsCollector.merged(
+                [r.stats for r in self.replicas]
+            ),
+            allocations=sorted(
+                (
+                    event
+                    for report in per_replica
+                    for event in report.allocations
+                ),
+                key=lambda e: e.time_s,
+            ),
+            cache_size=sum(r.cache_size for r in per_replica),
+            cache_storage_bytes=sum(
+                r.cache_storage_bytes for r in per_replica
+            ),
+        )
+        return ClusterReport(
+            policy=self.routing.policy,
+            fleet=fleet,
+            replicas=per_replica,
+            routed=list(self.routed_counts),
+            transfers=list(self.transfers),
+        )
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+# ----------------------------------------------------------------------
+def split_evenly(total: int, n: int) -> List[int]:
+    """Partition ``total`` into ``n`` near-equal parts, largest first."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    base, extra = divmod(total, n)
+    return [base + (1 if i < extra else 0) for i in range(n)]
+
+
+def modm_cluster(
+    space: SemanticSpace,
+    config: MoDMConfig,
+    routing: ClusterRoutingConfig,
+    name: Optional[str] = None,
+) -> ClusterServingSystem:
+    """MoDM fleet at fixed total resources.
+
+    The base config's worker pool and cache capacity are split evenly
+    across replicas, so policy and replica-count comparisons hold total
+    hardware and cache budget constant.  With ``n_replicas=1`` the
+    replica config equals ``config`` and behavior is bit-for-bit the
+    single engine's.
+    """
+    n = routing.n_replicas
+    workers = split_evenly(config.cluster.n_workers, n)
+    capacities = split_evenly(config.cache_capacity, n)
+    if workers[-1] < 1:
+        raise ValueError(
+            f"{config.cluster.n_workers} workers cannot cover "
+            f"{n} replicas"
+        )
+    if capacities[-1] < 1:
+        raise ValueError(
+            f"cache_capacity={config.cache_capacity} cannot cover "
+            f"{n} replicas"
+        )
+
+    def factory(i: int) -> MoDMSystem:
+        return MoDMSystem(
+            space,
+            replace(
+                config,
+                cluster=replace(
+                    config.cluster, n_workers=workers[i]
+                ),
+                cache_capacity=capacities[i],
+            ),
+        )
+
+    embedder: Optional[QueryEmbedder] = None
+    batch_embedder = None
+    if ROUTING_POLICY_REGISTRY[routing.policy].needs_query:
+        retrieval = (
+            TextToImageRetrieval(space)
+            if config.retrieval == "text-to-image"
+            else TextToTextRetrieval(space)
+        )
+        embedder = retrieval.query_embedding
+        batch_embedder = retrieval.query_embeddings
+    return ClusterServingSystem(
+        space,
+        factory,
+        routing,
+        query_embedder=embedder,
+        query_batch_embedder=batch_embedder,
+        name=name,
+    )
+
+
+# The config-side name list and the registry must agree; checked at
+# import so a policy added to one place cannot silently miss the other.
+assert set(ROUTING_POLICY_REGISTRY) == set(ROUTING_POLICIES), (
+    "routing policy registry out of sync with config.ROUTING_POLICIES"
+)

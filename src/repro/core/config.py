@@ -153,6 +153,74 @@ class SLOPolicy:
         return self.classes[-1]  # pragma: no cover - float edge
 
 
+#: Routing policies the cluster router implements
+#: (``core/cluster_router.py`` keeps the matching registry).
+ROUTING_POLICIES: Tuple[str, ...] = (
+    "round_robin",
+    "least_loaded",
+    "cache_affinity",
+)
+
+
+@dataclass(frozen=True)
+class ClusterRoutingConfig:
+    """Multi-replica serving layer configuration.
+
+    ``n_replicas`` serving engines run under one shared event clock,
+    fronted by a router running ``policy``:
+
+    * ``round_robin`` — arrival order modulo replica count;
+    * ``least_loaded`` — fewest queued + in-service requests, lowest
+      replica index breaking ties;
+    * ``cache_affinity`` — the replica whose cache-centroid sketch is
+      nearest the request embedding, capped by load imbalance: when the
+      chosen replica's load exceeds ``imbalance_cap x min_load +
+      spill_slack`` the request spills to the least-loaded replica.
+
+    ``autoscale`` turns on the :class:`ReplicaAutoscaler`: every
+    ``autoscale_period_s`` it reads per-replica window stats (hit rate,
+    queue depth, SLO pressure) and moves idle workers between replicas
+    toward a demand-proportional split, PID-damped
+    (``autoscale_kp/ki/kd``) so a load blip does not thrash workers back
+    and forth.  Every replica always keeps at least
+    ``min_workers_per_replica`` workers.
+
+    With ``n_replicas=1`` the cluster layer is pass-through: every
+    decision is bit-for-bit identical to running the wrapped engine
+    directly (the seed golden regression pins this), and the autoscaler
+    never runs.
+    """
+
+    n_replicas: int = 1
+    policy: str = "round_robin"
+    imbalance_cap: float = 2.0
+    spill_slack: int = 8
+    autoscale: bool = False
+    autoscale_period_s: float = 120.0
+    autoscale_window_s: float = 300.0
+    autoscale_kp: float = 0.5
+    autoscale_ki: float = 0.0
+    autoscale_kd: float = 0.1
+    min_workers_per_replica: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        if self.policy not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {self.policy!r}; "
+                f"available: {list(ROUTING_POLICIES)}"
+            )
+        if self.imbalance_cap < 1.0:
+            raise ValueError("imbalance_cap must be >= 1.0")
+        if self.spill_slack < 0:
+            raise ValueError("spill_slack must be non-negative")
+        if self.autoscale_period_s <= 0 or self.autoscale_window_s <= 0:
+            raise ValueError("autoscale periods must be positive")
+        if self.min_workers_per_replica < 1:
+            raise ValueError("min_workers_per_replica must be >= 1")
+
+
 @dataclass(frozen=True)
 class ClusterConfig:
     """How many workers, on which GPU type."""

@@ -21,8 +21,8 @@ switch of Fig. 10).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Sequence, Tuple
 
 from repro.cluster.stats import WindowStats
 from repro.core.config import MonitorMode
@@ -51,6 +51,44 @@ class MonitorConfig:
             raise ValueError("period_s and window_s must be positive")
         if not 0.0 <= self.slo_pressure_gain <= 1.0:
             raise ValueError("slo_pressure_gain must be in [0, 1]")
+
+
+def estimate_workloads(
+    window: WindowStats,
+    miss_backlog: int = 0,
+    hit_backlog_workload: float = 0.0,
+    period_s: float = 60.0,
+) -> Tuple[float, float]:
+    """(miss, hit) workloads in full-generations/min (Alg. 1 lines 3-8).
+
+    The demand-estimation core of the Global Monitor, shared with the
+    cluster layer's :class:`~repro.core.cluster_router.ReplicaAutoscaler`
+    (which runs it per replica to derive worker shares).  Queued work is
+    folded in scaled to clear within one period.
+    """
+    if miss_backlog < 0 or hit_backlog_workload < 0:
+        raise ValueError("backlogs must be non-negative")
+    rate = window.request_rate_per_min
+    hit_rate = window.hit_rate
+    # Queued work should clear within roughly one monitoring period.
+    backlog_scale = 60.0 / period_s
+    miss_workload = (
+        (1.0 - hit_rate) * rate + miss_backlog * backlog_scale
+    )
+
+    # Refinement workload factor: sum over k of P(K=k) * (1 - k/T).
+    if window.k_rates:
+        refine_factor = sum(
+            share * (1.0 - k / REFERENCE_TOTAL_STEPS)
+            for k, share in window.k_rates.items()
+        )
+    else:
+        refine_factor = 1.0
+    hit_workload = (
+        hit_rate * rate * refine_factor
+        + hit_backlog_workload * backlog_scale
+    )
+    return miss_workload, hit_workload
 
 
 @dataclass(frozen=True)
@@ -134,29 +172,13 @@ class GlobalMonitor:
         that restores slack.  At 0 (the default, and always when the SLO
         subsystem is off) the allocation is untouched.
         """
-        if miss_backlog < 0 or hit_backlog_workload < 0:
-            raise ValueError("backlogs must be non-negative")
         if not 0.0 <= slo_pressure <= 1.0:
             raise ValueError("slo_pressure must be in [0, 1]")
-        rate = window.request_rate_per_min
-        hit_rate = window.hit_rate
-        # Queued work should clear within roughly one monitoring period.
-        backlog_scale = 60.0 / self._config.period_s
-        miss_workload = (
-            (1.0 - hit_rate) * rate + miss_backlog * backlog_scale
-        )
-
-        # Refinement workload factor: sum over k of P(K=k) * (1 - k/T).
-        if window.k_rates:
-            refine_factor = sum(
-                share * (1.0 - k / REFERENCE_TOTAL_STEPS)
-                for k, share in window.k_rates.items()
-            )
-        else:
-            refine_factor = 1.0
-        hit_workload = (
-            hit_rate * rate * refine_factor
-            + hit_backlog_workload * backlog_scale
+        miss_workload, hit_workload = estimate_workloads(
+            window,
+            miss_backlog=miss_backlog,
+            hit_backlog_workload=hit_backlog_workload,
+            period_s=self._config.period_s,
         )
 
         small = self._choose_small(miss_workload, hit_workload)
@@ -211,6 +233,23 @@ class GlobalMonitor:
         self._pid.reset()
         self.current_num_large = float(self._n)
         self.current_small = self._smalls[0].name
+
+    def resize(self, n_workers: int) -> None:
+        """Re-anchor the monitor to a changed worker-pool size.
+
+        Called by the replica autoscaler when workers move between
+        replicas mid-run; the controller state carries over, clamped to
+        the new pool so the next allocation cannot address workers the
+        replica no longer has.  A same-size resize is a no-op.
+        """
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if n_workers == self._n:
+            return
+        self._n = n_workers
+        self.current_num_large = min(
+            self.current_num_large, float(n_workers)
+        )
 
     # ------------------------------------------------------------------
     # Mode-specific targets

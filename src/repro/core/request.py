@@ -8,7 +8,7 @@ hit/miss/k breakdowns the figures report.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.diffusion.latent import SyntheticImage
@@ -68,6 +68,9 @@ class SLORejection:
 class RequestRecord:
     """One request's full lifecycle in a serving run.
 
+    ``replica_id`` is set by the cluster router when the request is
+    served by a multi-replica fleet (None in single-engine runs).
+
     The SLO fields stay at their defaults unless the serving system runs
     with an :class:`~repro.core.config.SLOPolicy`: ``slo_class`` /
     ``priority`` / ``deadline_s`` are assigned at arrival, ``degraded``
@@ -88,6 +91,7 @@ class RequestRecord:
     model_name: Optional[str] = None
     steps_run: int = 0
     image: Optional[SyntheticImage] = None
+    replica_id: Optional[int] = None
     slo_class: Optional[str] = None
     priority: int = 0
     deadline_s: Optional[float] = None

@@ -39,10 +39,8 @@ from repro.cluster.stats import StatsCollector
 from repro.cluster.worker import GPUWorker, Job
 from repro.core.cache import make_image_cache
 from repro.core.config import (
-    CacheAdmission,
     ClusterConfig,
     MoDMConfig,
-    MonitorMode,
 )
 from repro.core.kselection import (
     REFERENCE_TOTAL_STEPS,
@@ -51,7 +49,7 @@ from repro.core.kselection import (
     scale_k_steps,
 )
 from repro.core.monitor import Allocation, GlobalMonitor, MonitorConfig
-from repro.core.request import Decision, RequestRecord
+from repro.core.request import RequestRecord
 from repro.core.slo import (
     PathEstimate,
     SloGate,
@@ -65,7 +63,7 @@ from repro.core.retrieval import (
 )
 from repro.core.scheduler import RequestScheduler
 from repro.diffusion.model import DiffusionModelSim
-from repro.diffusion.registry import GPU_SPECS, ModelSpec, get_gpu, get_model
+from repro.diffusion.registry import ModelSpec, get_gpu, get_model
 from repro.embedding.space import SemanticSpace
 from repro.workloads.prompts import Prompt
 from repro.workloads.trace import Trace
@@ -351,6 +349,9 @@ class BaseServingSystem:
         # Subclasses install a gate to opt into the SLO subsystem; None
         # keeps every code path identical to the policy-free engine.
         self._slo_gate: Optional[SloGate] = None
+        # Installed by the cluster serving layer: when set, run-level
+        # termination (all_done) is fleet-wide, not per-replica.
+        self._fleet = None
         self.stats = StatsCollector()
         self._reset_runtime()
 
@@ -412,11 +413,15 @@ class BaseServingSystem:
             GPUWorker(worker_id=i, gpu=self._gpu)
             for i in range(self._cluster.n_workers)
         ]
+        self._workers_by_id: Dict[int, GPUWorker] = {
+            w.worker_id: w for w in self.workers
+        }
         self.records: List[RequestRecord] = []
         self._in_service: Dict[int, _WorkItem] = {}
         self._n_completed = 0
         self._n_shed = 0
         self._n_expected = 0
+        self._fleet = None
         self.stats = StatsCollector()
         if self._slo_gate is not None:
             self._slo_gate.bind_stats(self.stats)
@@ -508,7 +513,7 @@ class BaseServingSystem:
         idle = self._idle_workers
         if not idle or not self._has_ready_work(now):
             return
-        workers = self.workers
+        workers = self._workers_by_id
         for worker_id in sorted(idle):
             worker = workers[worker_id]
             if not worker.is_idle(now):  # pragma: no cover - safety net
@@ -612,9 +617,74 @@ class BaseServingSystem:
 
         Shed requests terminate at admission, so they count alongside
         completions — otherwise a run with sheds would tick its monitor
-        forever.
+        forever.  Under a cluster run (``_fleet`` installed) the check is
+        fleet-wide: a replica cannot know how many more requests will be
+        routed to it, so periodic machinery (monitor ticks) keeps running
+        until the whole fleet drains.  With one replica the fleet counts
+        equal the replica's own, so the answer is unchanged.
         """
+        if self._fleet is not None:
+            return self._fleet.all_done
         return self._n_completed + self._n_shed >= self._n_expected
+
+    # ------------------------------------------------------------------
+    # Cluster-layer surface (load introspection, worker rebalancing)
+    # ------------------------------------------------------------------
+    def queue_depth(self) -> int:
+        """Requests queued but not yet in service (subclasses override)."""
+        return 0
+
+    def load(self) -> int:
+        """Routing load signal: queued plus in-service requests."""
+        return self.queue_depth() + len(self._in_service)
+
+    @property
+    def n_terminal(self) -> int:
+        """Requests this replica finished (completed or shed)."""
+        return self._n_completed + self._n_shed
+
+    def idle_worker_ids(self) -> List[int]:
+        """Ids of currently idle workers, ascending."""
+        return sorted(self._idle_workers)
+
+    def _default_worker_model(self) -> Optional[str]:
+        """Model a freshly adopted worker should target (policy hint)."""
+        return None
+
+    def release_worker(self, worker_id: int) -> GPUWorker:
+        """Detach an *idle* worker so another replica can adopt it."""
+        if worker_id not in self._idle_workers:
+            raise ValueError(
+                f"worker {worker_id} is not idle; only idle workers "
+                "can be released"
+            )
+        worker = self._workers_by_id.pop(worker_id)
+        self._idle_workers.discard(worker_id)
+        self.workers.remove(worker)
+        self._on_worker_count_changed()
+        return worker
+
+    def adopt_worker(self, worker: GPUWorker, now: float) -> None:
+        """Attach a worker released by another replica.
+
+        The worker keeps its resident model (switch cost is paid
+        naturally when its first job here needs a different one) but is
+        re-targeted at this system's default; dispatch is the caller's
+        responsibility (the autoscaler re-dispatches after a transfer).
+        """
+        if worker.worker_id in self._workers_by_id:
+            raise ValueError(
+                f"worker id {worker.worker_id} already present"
+            )
+        worker.target_model = self._default_worker_model()
+        self.workers.append(worker)
+        self._workers_by_id[worker.worker_id] = worker
+        if worker.is_idle(now):
+            self._idle_workers.add(worker.worker_id)
+        self._on_worker_count_changed()
+
+    def _on_worker_count_changed(self) -> None:
+        """Hook fired after adopt/release (monitor resizing etc.)."""
 
 
 def _pop_fifo(queue: Deque[RequestRecord]) -> Optional[RequestRecord]:
@@ -748,6 +818,9 @@ class MoDMSystem(BaseServingSystem):
         self.allocations = []
         if hasattr(self, "monitor"):
             self.monitor.reset()
+            # Restore the configured pool size: a previous cluster run's
+            # autoscaler may have resized the monitor mid-run.
+            self.monitor.resize(self._cluster.n_workers)
             # All workers start on the large model.
             for worker in self.workers:
                 worker.target_model = self._large_spec.name
@@ -865,7 +938,9 @@ class MoDMSystem(BaseServingSystem):
         gpu = self._gpu.name
         large = self._large_spec
         small = get_model(self.monitor.current_small)
-        n_small = self._cluster.n_workers - self._n_large_workers
+        # len(self.workers) tracks autoscaler transfers; equal to the
+        # static cluster size whenever the cluster layer is not in play.
+        n_small = max(0, len(self.workers) - self._n_large_workers)
         n_large = max(1, self._n_large_workers)
         small_full_s = small.service_time_s(gpu, small.total_steps)
         if n_small > 0:
@@ -948,6 +1023,26 @@ class MoDMSystem(BaseServingSystem):
     def _has_ready_work(self, now: float) -> bool:
         return self._miss_queue.has_ready(now) or self._hit_queue.has_ready(
             now
+        )
+
+    def queue_depth(self) -> int:
+        return len(self._miss_queue) + len(self._hit_queue)
+
+    def _default_worker_model(self) -> Optional[str]:
+        # Misses have priority (§4.2); the next monitor tick rebalances.
+        return self._large_spec.name
+
+    def _on_worker_count_changed(self) -> None:
+        self.monitor.resize(max(1, len(self.workers)))
+        # Recount from worker targets: adoption/release changes both the
+        # pool and its large/small composition (an adopted worker arrives
+        # targeted at the large model), and the SLO path estimates read
+        # this split between monitor ticks.
+        large = self._large_spec.name
+        self._n_large_workers = sum(
+            1
+            for worker in self.workers
+            if worker.effective_model() == large
         )
 
     def _next_work(

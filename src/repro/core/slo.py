@@ -7,8 +7,8 @@ request gets a deadline and priority class at arrival
 (:class:`~repro.core.config.SLOPolicy`), and the gate then walks a small
 state machine per request:
 
-    accept ──(primary path meets slack)──────────────▶ primary queue
-    degrade ─(only a cheaper path meets slack)───────▶ small-model path
+    accept ──(primary path meets slack)──────▶ primary queue
+    degrade ─(only a cheaper path in slack)──▶ small-model path
     shed ───(no path meets slack, class sheddable)───▶ typed rejection
     late ───(no path meets slack, class must-serve)──▶ primary queue
 

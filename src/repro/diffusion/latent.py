@@ -10,7 +10,7 @@ intermediate latents Nirvana must keep per image.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

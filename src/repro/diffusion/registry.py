@@ -21,7 +21,7 @@ the paper relationship it targets.  Two kinds of parameters:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.diffusion.latent import FINAL_IMAGE_BYTES, LATENT_STACK_BYTES

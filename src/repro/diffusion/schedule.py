@@ -14,8 +14,7 @@ Flow-matching models (SD3.5-Large, FLUX) use a linear sigma ramp; a cosine
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass, field
-from typing import Tuple
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -67,6 +67,10 @@ EXPERIMENTS: Dict[str, tuple] = {
         figures.slo_admission,
         "in-engine SLO admission & degradation under overload",
     ),
+    "cluster_routing": (
+        figures.cluster_routing,
+        "multi-replica routing policies: fleet hit rate & latency",
+    ),
     "fig14": (
         figures.fig14_tradeoff,
         "FID vs 1/throughput trade-off space (FLUX)",

@@ -20,13 +20,13 @@ from repro.cluster.arrivals import (
 from repro.core.config import (
     CacheAdmission,
     ClusterConfig,
-    MonitorMode,
+    ClusterRoutingConfig,
+    ROUTING_POLICIES,
     SLOClass,
     SLOPolicy,
 )
 from repro.core.kselection import (
     DEFAULT_K_SET,
-    KSelector,
     derive_thresholds,
     modm_default_selector,
 )
@@ -39,7 +39,7 @@ from repro.experiments.harness import (
     ExperimentContext,
 )
 from repro.experiments.reporting import ExperimentResult
-from repro.metrics import FidMetric, slo_violation_rate
+from repro.metrics import slo_violation_rate
 from repro.metrics.latency import offered_vs_served, percentile
 from repro.workloads.prompts import Prompt
 from repro.workloads.trace import Trace
@@ -581,10 +581,26 @@ def fig17_fluctuating(
 # ----------------------------------------------------------------------
 def fig11_scalability(
     ctx: ExperimentContext,
-    gpu_counts: Sequence[int] = (4, 8, 12, 16, 20, 24, 28, 32),
+    gpu_counts: Optional[Sequence[int]] = None,
     demand_rpm: float = 60.0,
 ) -> ExperimentResult:
-    """Fig. 11: MoDM throughput scaling (super-linear) with GPU count."""
+    """Fig. 11: MoDM throughput scaling (super-linear) with GPU count.
+
+    Scaling is only measurable while every cluster stays *overloaded*
+    (span dominated by queue drain).  On the short smoke trace the big
+    end of the paper's 4..32 sweep becomes arrival-limited — its linear
+    capacity meets the offered 60 rpm — and the fixed final-request
+    service tail eats a visible share of the short serving span, so the
+    smoke preset sweeps 2..8 GPUs where the offered load strictly
+    exceeds capacity at every point.  Larger scales use the paper's
+    sweep unchanged.
+    """
+    if gpu_counts is None:
+        gpu_counts = (
+            (2, 4, 6, 8)
+            if ctx.scale.name == "smoke"
+            else (4, 8, 12, 16, 20, 24, 28, 32)
+        )
     result = ExperimentResult(
         experiment_id="fig11",
         title="MoDM throughput scaling with #MI210 GPUs",
@@ -594,6 +610,9 @@ def fig11_scalability(
         ),
     )
     result.add_note(_scale_note(ctx))
+    result.add_note(
+        f"gpu sweep {tuple(gpu_counts)} at {demand_rpm:g} rpm offered"
+    )
     trace = ctx.diffusiondb()
     warm, serve_base = ctx.split(trace)
     # Arrivals at a fixed high rate: slower clusters fall behind while the
@@ -618,6 +637,74 @@ def fig11_scalability(
             linear_reference=n / gpu_counts[0],
             hit_rate=report.hit_rate,
         )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Extension — multi-replica cluster serving (cache-aware routing)
+# ----------------------------------------------------------------------
+def cluster_routing(
+    ctx: ExperimentContext,
+    replica_counts: Sequence[int] = (2, 4, 8),
+    demand_rpm: float = 60.0,
+) -> ExperimentResult:
+    """Routing-policy comparison across serving replicas at equal load.
+
+    N MoDM replicas (each one cache shard + worker pool carved from the
+    same 16-GPU / one-cache budget) serve the same Poisson trace under
+    the three router policies, autoscaler on.  The single-engine row is
+    the one-replica reference: sharding always costs hit rate, and the
+    question is which policy loses the least.  ``cache_affinity`` routes
+    each request to the replica whose cache-centroid sketch is nearest,
+    so semantic families concentrate per shard — it should dominate
+    ``round_robin`` on fleet hit rate and p99 latency at every width.
+    """
+    result = ExperimentResult(
+        experiment_id="cluster_routing",
+        title="Cluster routing policies: fleet hit rate and latency",
+        paper_reference=(
+            "Extension beyond the paper's single pool (cf. DiffServe / "
+            "LegoDiffusion instance scaling): MoDM's twist is that "
+            "routing is cache-affinity-sensitive"
+        ),
+    )
+    result.add_note(_scale_note(ctx))
+    result.add_note(
+        f"{demand_rpm:g} rpm offered; total workers/cache split evenly "
+        "across replicas; autoscaler on"
+    )
+    trace = ctx.diffusiondb()
+    warm, serve_base = ctx.split(trace)
+    arrivals = poisson_arrivals(
+        demand_rpm, len(serve_base), seed="cluster-routing"
+    )
+    serve = serve_base.with_arrivals(arrivals)
+
+    # The one-replica cluster is bit-for-bit the single engine (pinned
+    # by the golden regression), so the reference row reuses the same
+    # report shape as every fleet row.
+    engine = ctx.modm_cluster(
+        ClusterRoutingConfig(n_replicas=1),
+        cluster=CLUSTER_MI210,
+        smalls=("sdxl",),
+    )
+    engine.warm_cache(warm)
+    reference = engine.run(serve).summary_row()
+    reference["policy"] = "single-engine"
+    result.add_row(**reference)
+    for n_replicas in replica_counts:
+        for policy in ROUTING_POLICIES:
+            system = ctx.modm_cluster(
+                ClusterRoutingConfig(
+                    n_replicas=n_replicas,
+                    policy=policy,
+                    autoscale=True,
+                ),
+                cluster=CLUSTER_MI210,
+                smalls=("sdxl",),
+            )
+            system.warm_cache(warm)
+            result.add_row(**system.run(serve).summary_row())
     return result
 
 

@@ -17,10 +17,8 @@ faster path, while the serving-facing experiments (Figs. 7-8, 10-14,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
 
 from repro.core.baselines import (
     NirvanaSystem,
@@ -28,9 +26,14 @@ from repro.core.baselines import (
     VanillaSystem,
 )
 from repro.core.cache import ImageCache
+from repro.core.cluster_router import (
+    ClusterServingSystem,
+    modm_cluster,
+)
 from repro.core.config import (
     CacheAdmission,
     ClusterConfig,
+    ClusterRoutingConfig,
     MoDMConfig,
     MonitorMode,
     SLOPolicy,
@@ -361,6 +364,28 @@ class ExperimentContext:
             slo=slo,
         )
         return MoDMSystem(self.space, config)
+
+    def modm_cluster(
+        self,
+        routing: ClusterRoutingConfig,
+        cluster: ClusterConfig = CLUSTER_MI210,
+        large: str = "sd3.5-large",
+        smalls: Tuple[str, ...] = ("sdxl",),
+        cache_capacity: Optional[int] = None,
+        mode: MonitorMode = MonitorMode.THROUGHPUT,
+        slo: Optional[SLOPolicy] = None,
+    ) -> ClusterServingSystem:
+        """MoDM fleet: total workers/cache split across ``routing``'s
+        replicas, so replica-count sweeps hold resources constant."""
+        config = MoDMConfig(
+            large_model=large,
+            small_models=smalls,
+            cluster=cluster,
+            cache_capacity=cache_capacity or self.scale.cache_capacity,
+            monitor_mode=mode,
+            slo=slo,
+        )
+        return modm_cluster(self.space, config, routing)
 
     def vanilla(
         self,

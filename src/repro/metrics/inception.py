@@ -10,7 +10,7 @@ which is how SANA's noticeably lower IS in Tables 2-3 arises.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -16,8 +16,6 @@ import heapq
 from dataclasses import dataclass
 from typing import List, Optional
 
-import numpy as np
-
 from repro._rng import rng_for
 from repro.embedding.space import SemanticSpace
 from repro.embedding.vocab import Vocabulary

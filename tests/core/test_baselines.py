@@ -1,6 +1,5 @@
 """Tests for the baseline serving systems."""
 
-import numpy as np
 import pytest
 
 from repro.core.baselines import (

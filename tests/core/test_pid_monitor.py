@@ -1,6 +1,5 @@
 """Tests for the PID controller and the Global Monitor (Algorithm 1)."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.stats import WindowStats

@@ -10,7 +10,6 @@ from repro.diffusion.registry import (
     MODEL_ALIASES,
     MODEL_ZOO,
     GpuSpec,
-    ModelSpec,
     get_gpu,
     get_model,
 )

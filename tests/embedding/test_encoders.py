@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.embedding.image_encoder import ClipLikeImageEncoder
-from repro.embedding.space import SemanticSpace, cosine
+from repro.embedding.space import cosine
 from repro.embedding.text_encoder import ClipLikeTextEncoder, prompt_mixture
 
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.embedding.space import (
-    SemanticSpace,
     SpaceConfig,
     cosine,
     cosine_matrix,

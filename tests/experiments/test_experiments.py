@@ -1,6 +1,5 @@
 """Tests for the experiment harness, figures, and tables (smoke scale)."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import CacheAdmission
@@ -11,7 +10,6 @@ from repro.experiments import (
     format_table,
 )
 from repro.experiments import figures, tables
-from repro.experiments.harness import CacheOnlyRun
 
 
 @pytest.fixture(scope="module")

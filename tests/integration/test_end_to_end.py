@@ -1,6 +1,5 @@
 """Integration tests: whole-system behaviours the paper's claims rest on."""
 
-import numpy as np
 import pytest
 
 from repro.core.baselines import NirvanaSystem, VanillaSystem

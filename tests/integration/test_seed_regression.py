@@ -14,7 +14,12 @@ import os
 
 import pytest
 
-from repro.core.config import ClusterConfig, MoDMConfig
+from repro.core.cluster_router import modm_cluster
+from repro.core.config import (
+    ClusterConfig,
+    ClusterRoutingConfig,
+    MoDMConfig,
+)
 from repro.core.serving import MoDMSystem
 from repro.workloads import DiffusionDBConfig, diffusiondb_trace
 
@@ -29,20 +34,24 @@ def golden():
         return json.load(handle)
 
 
-@pytest.fixture(scope="module")
-def report(space):
-    trace = diffusiondb_trace(
+_SEED_CONFIG = MoDMConfig(
+    cluster=ClusterConfig(gpu_name="MI210", n_workers=4),
+    cache_capacity=200,
+    small_models=("sdxl",),
+)
+
+
+def _seed_trace(space):
+    return diffusiondb_trace(
         space,
         DiffusionDBConfig(n_requests=300, seed="seed-regression"),
     )
-    system = MoDMSystem(
-        space,
-        MoDMConfig(
-            cluster=ClusterConfig(gpu_name="MI210", n_workers=4),
-            cache_capacity=200,
-            small_models=("sdxl",),
-        ),
-    )
+
+
+@pytest.fixture(scope="module")
+def report(space):
+    trace = _seed_trace(space)
+    system = MoDMSystem(space, _SEED_CONFIG)
     system.warm_cache([r.prompt for r in trace.requests[:60]])
     return system.run(trace.slice(60, 300).rebase())
 
@@ -81,3 +90,61 @@ class TestSeedTraceUnchanged:
             json.dumps(decisions).encode()
         ).hexdigest()
         assert digest == golden["decision_sha"]
+
+
+@pytest.fixture(
+    scope="module",
+    params=["round_robin", "least_loaded", "cache_affinity"],
+)
+def cluster_report(request, space):
+    """Fleet report of a one-replica cluster over the seed trace."""
+    trace = _seed_trace(space)
+    system = modm_cluster(
+        space,
+        _SEED_CONFIG,
+        ClusterRoutingConfig(n_replicas=1, policy=request.param),
+    )
+    system.warm_cache([r.prompt for r in trace.requests[:60]])
+    return system.run(trace.slice(60, 300).rebase()).fleet
+
+
+class TestSingleReplicaClusterUnchanged:
+    """The n_replicas=1 cluster path must equal the engine, bit for bit.
+
+    Every routing policy collapses to "everything lands on replica 0",
+    so each must reproduce the golden seed trace exactly: same decisions,
+    same completion times, same counters.
+    """
+
+    def test_hit_rate(self, cluster_report, golden):
+        assert cluster_report.hit_rate == golden["hit_rate"]
+
+    def test_completion_times(self, cluster_report, golden):
+        assert cluster_report.n_completed == golden["n_completed"]
+        times = sorted(cluster_report.completion_times())
+        digest = hashlib.sha256(
+            json.dumps([round(float(t), 6) for t in times]).encode()
+        ).hexdigest()
+        assert digest == golden["completion_times_sha"]
+
+    def test_per_request_decisions_bit_for_bit(
+        self, cluster_report, golden
+    ):
+        decisions = [
+            (
+                r.request_id,
+                r.decision.hit,
+                r.decision.k_steps,
+                round(r.decision.similarity, 9),
+            )
+            for r in cluster_report.records
+        ]
+        digest = hashlib.sha256(
+            json.dumps(decisions).encode()
+        ).hexdigest()
+        assert digest == golden["decision_sha"]
+
+    def test_records_routed_to_replica_zero(self, cluster_report):
+        assert all(
+            r.replica_id == 0 for r in cluster_report.records
+        )

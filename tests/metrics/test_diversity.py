@@ -1,6 +1,5 @@
 """Tests for the generation-diversity metrics (future-work extension)."""
 
-import numpy as np
 import pytest
 
 from repro.metrics.diversity import class_coverage, pairwise_diversity

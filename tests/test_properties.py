@@ -1,7 +1,6 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -244,7 +243,10 @@ class TestMetricProperties:
         assert 0.0 <= report.violation_rate <= 1.0
         assert report.violations <= report.total
 
-    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=100))
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=0, max_value=100),
+    )
     @_SLOW
     def test_frechet_identity_and_nonnegativity(self, dim, seed):
         rng = np.random.default_rng(seed)
