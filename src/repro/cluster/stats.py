@@ -5,20 +5,118 @@ period: the request rate ``R``, the cache hit rate ``H_cache``, and the
 distribution of refinement steps ``P(K = k)``.  The collector keeps
 timestamped decision events and answers windowed queries over them; it also
 accumulates whole-run counters for the final report.
+
+Events are stored columnar (:class:`_ColumnRing`): parallel growable numpy
+arrays instead of a python tuple per event, so million-request traces cost
+a few flat bytes per decision and windowed queries reduce over array
+slices rather than walking tuples.
 """
 
 from __future__ import annotations
 
-import heapq
-from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
 
 
 #: SLO event kinds the collector accepts; admission events ("accept",
 #: "degrade", "shed", "late") are streamed by the SLO gate at arrival,
 #: outcome events ("met", "violation") at completion.
 SLO_EVENT_KINDS = ("accept", "degrade", "shed", "late", "met", "violation")
+
+#: kind name <-> small-int code for the columnar SLO event buffer.
+_SLO_KIND_CODE = {kind: i for i, kind in enumerate(SLO_EVENT_KINDS)}
+#: Codes 0..3 are the arrival-side admission kinds (accept/degrade/
+#: shed/late) whose planned slack feeds ``mean_slack_s``.
+_LAST_ADMISSION_CODE = _SLO_KIND_CODE["late"]
+
+
+class _ColumnRing:
+    """Growable columnar event buffer with amortized O(1) append/trim.
+
+    Events live oldest-first in parallel preallocated numpy arrays
+    between ``_head`` and ``_tail``: appends write at the tail, trimming
+    advances the head.  When the tail hits capacity the buffer either
+    slides the live region back to offset zero (when at least half the
+    array is trimmed slack) or doubles — so storage stays O(live
+    events) at a handful of bytes per row, instead of one ~100-byte
+    python tuple per event, and million-request traces keep flat
+    memory.
+
+    Event times must be appended in non-decreasing order — the same
+    sortedness invariant the previous deque implementation leaned on
+    for its trim/early-break loops — which lets every windowed query
+    start from one ``searchsorted``.
+    """
+
+    def __init__(self, dtypes: Sequence[Tuple[str, str]], initial: int = 1024):
+        self._names = [name for name, _ in dtypes]
+        self._cols = {
+            name: np.empty(initial, dtype=dt) for name, dt in dtypes
+        }
+        self._head = 0
+        self._tail = 0
+
+    def __len__(self) -> int:
+        return self._tail - self._head
+
+    def _grow(self) -> None:
+        capacity = self._cols[self._names[0]].shape[0]
+        live = len(self)
+        if self._head >= max(1, capacity // 2):
+            # Enough trimmed slack at the front: slide instead of grow.
+            for name, col in self._cols.items():
+                col[:live] = col[self._head:self._tail]
+        else:
+            # max(8, ...) also covers buffers whose capacity equals the
+            # live count with no slack — e.g. fresh from extend_merged —
+            # where doubling zero/one slots would free no room.
+            for name, col in list(self._cols.items()):
+                fresh = np.empty(
+                    max(8, 2 * capacity), dtype=col.dtype
+                )
+                fresh[:live] = col[self._head:self._tail]
+                self._cols[name] = fresh
+        self._head = 0
+        self._tail = live
+
+    def append(self, *values) -> None:
+        if self._tail == self._cols[self._names[0]].shape[0]:
+            self._grow()
+        for name, value in zip(self._names, values):
+            self._cols[name][self._tail] = value
+        self._tail += 1
+
+    def col(self, name: str) -> np.ndarray:
+        """Live view of one column, oldest first."""
+        return self._cols[name][self._head:self._tail]
+
+    def trim_before(self, cutoff: float) -> None:
+        """Drop events with ``time < cutoff`` (head advance, no copy)."""
+        times = self.col("time")
+        self._head += int(np.searchsorted(times, cutoff, side="left"))
+
+    def window_start(self, cutoff: float) -> int:
+        """Index into the live views of the first event ``>= cutoff``."""
+        return int(
+            np.searchsorted(self.col("time"), cutoff, side="left")
+        )
+
+    def extend_merged(self, rings: Sequence["_ColumnRing"]) -> None:
+        """Fill this (empty) buffer with a time-sorted merge of ``rings``."""
+        if not rings:
+            return
+        parts = {
+            name: [ring.col(name) for ring in rings]
+            for name in self._names
+        }
+        times = np.concatenate(parts["time"])
+        order = np.argsort(times, kind="stable")
+        for name in self._names:
+            self._cols[name] = np.concatenate(parts[name])[order]
+        self._head = 0
+        self._tail = times.shape[0]
 
 
 @dataclass(frozen=True)
@@ -89,10 +187,15 @@ class StatsCollector:
         if max_window_s <= 0:
             raise ValueError("max_window_s must be positive")
         self._max_window_s = max_window_s
-        # (time, is_hit, k) — k meaningful only for hits.
-        self._events: Deque[Tuple[float, bool, int]] = deque()
-        # (time, kind, slack_s) — streamed by the SLO gate when active.
-        self._slo_events: Deque[Tuple[float, str, float]] = deque()
+        # Columnar (time, is_hit, k) rows — k meaningful only for hits.
+        self._events = _ColumnRing(
+            (("time", "f8"), ("hit", "?"), ("k", "i8"))
+        )
+        # Columnar (time, kind code, slack_s) rows — streamed by the
+        # SLO gate when active.
+        self._slo_events = _ColumnRing(
+            (("time", "f8"), ("kind", "i1"), ("slack", "f8"))
+        )
         self.total_arrivals = 0
         self.total_hits = 0
         self.total_misses = 0
@@ -116,11 +219,9 @@ class StatsCollector:
                 (c._max_window_s for c in collectors), default=3600.0
             )
         )
-        out._events = deque(
-            heapq.merge(*(c._events for c in collectors))
-        )
-        out._slo_events = deque(
-            heapq.merge(*(c._slo_events for c in collectors))
+        out._events.extend_merged([c._events for c in collectors])
+        out._slo_events.extend_merged(
+            [c._slo_events for c in collectors]
         )
         for collector in collectors:
             out.total_arrivals += collector.total_arrivals
@@ -132,7 +233,7 @@ class StatsCollector:
 
     def record_decision(self, now: float, hit: bool, k: int = 0) -> None:
         """Record one scheduling decision (cache hit with ``k``, or miss)."""
-        self._events.append((now, hit, k))
+        self._events.append(now, hit, k)
         self.total_arrivals += 1
         if hit:
             self.total_hits += 1
@@ -145,25 +246,21 @@ class StatsCollector:
         """Stats over ``[now - window_s, now]``."""
         if window_s <= 0:
             raise ValueError("window_s must be positive")
-        cutoff = now - window_s
-        arrivals = 0
-        hits = 0
-        misses = 0
-        k_counts: Dict[int, int] = {}
-        for time, is_hit, k in reversed(self._events):
-            if time < cutoff:
-                break
-            arrivals += 1
-            if is_hit:
-                hits += 1
-                k_counts[k] = k_counts.get(k, 0) + 1
-            else:
-                misses += 1
-        k_rates = (
-            {k: c / hits for k, c in sorted(k_counts.items())}
-            if hits
-            else {}
-        )
+        start = self._events.window_start(now - window_s)
+        hit_col = self._events.col("hit")[start:]
+        arrivals = hit_col.shape[0]
+        hits = int(np.count_nonzero(hit_col))
+        misses = arrivals - hits
+        if hits:
+            ks, counts = np.unique(
+                self._events.col("k")[start:][hit_col],
+                return_counts=True,
+            )
+            k_rates = {
+                int(k): int(c) / hits for k, c in zip(ks, counts)
+            }
+        else:
+            k_rates = {}
         return WindowStats(
             window_s=window_s,
             arrivals=arrivals,
@@ -179,24 +276,31 @@ class StatsCollector:
                 f"unknown SLO event kind {kind!r}; "
                 f"expected one of {SLO_EVENT_KINDS}"
             )
-        self._slo_events.append((now, kind, slack_s))
+        self._slo_events.append(now, _SLO_KIND_CODE[kind], slack_s)
         self._trim_slo(now)
 
     def slo_window(self, now: float, window_s: float) -> SloWindowStats:
         """SLO events over ``[now - window_s, now]``."""
         if window_s <= 0:
             raise ValueError("window_s must be positive")
-        cutoff = now - window_s
-        counts = {kind: 0 for kind in SLO_EVENT_KINDS}
+        start = self._slo_events.window_start(now - window_s)
+        kind_col = self._slo_events.col("kind")[start:]
+        by_code = np.bincount(
+            kind_col, minlength=len(SLO_EVENT_KINDS)
+        )
+        counts = {
+            kind: int(by_code[code])
+            for kind, code in _SLO_KIND_CODE.items()
+        }
+        admission = kind_col <= _LAST_ADMISSION_CODE
+        slack_n = int(np.count_nonzero(admission))
+        # Accumulated newest-to-oldest, exactly as the tuple-deque
+        # implementation summed it, so the mean stays bit-identical.
         slack_sum = 0.0
-        slack_n = 0
-        for time, kind, slack in reversed(self._slo_events):
-            if time < cutoff:
-                break
-            counts[kind] += 1
-            if kind in ("accept", "degrade", "shed", "late"):
-                slack_sum += slack
-                slack_n += 1
+        for slack in self._slo_events.col("slack")[start:][admission][
+            ::-1
+        ]:
+            slack_sum += float(slack)
         return SloWindowStats(
             window_s=window_s,
             accepted=counts["accept"],
@@ -209,10 +313,7 @@ class StatsCollector:
         )
 
     def _trim_slo(self, now: float) -> None:
-        cutoff = now - self._max_window_s
-        events = self._slo_events
-        while events and events[0][0] < cutoff:
-            events.popleft()
+        self._slo_events.trim_before(now - self._max_window_s)
 
     @property
     def overall_hit_rate(self) -> float:
@@ -231,6 +332,4 @@ class StatsCollector:
         }
 
     def _trim(self, now: float) -> None:
-        cutoff = now - self._max_window_s
-        while self._events and self._events[0][0] < cutoff:
-            self._events.popleft()
+        self._events.trim_before(now - self._max_window_s)

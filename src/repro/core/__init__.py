@@ -5,6 +5,8 @@ The pieces of Fig. 4, as a library:
 * :mod:`repro.core.cache` — the model-agnostic final-image cache (FIFO
   sliding window, utility ablation) plus Nirvana's latent cache;
 * :mod:`repro.core.retrieval` — text-to-image vs text-to-text retrieval;
+* :mod:`repro.core.ann` — the IVF approximate-retrieval backend for
+  sublinear million-entry cache lookups;
 * :mod:`repro.core.kselection` — similarity-thresholded choice of skipped
   de-noising steps (Fig. 5b) and its quality-constrained calibration;
 * :mod:`repro.core.scheduler` — the Request Scheduler (embed, retrieve,
@@ -19,6 +21,7 @@ The pieces of Fig. 4, as a library:
   small/distilled-model systems.
 """
 
+from repro.core.ann import IVFIndex, IVFParams
 from repro.core.baselines import (
     NirvanaSystem,
     PineconeSystem,
@@ -75,6 +78,8 @@ __all__ = [
     "ClusterServingSystem",
     "Decision",
     "GlobalMonitor",
+    "IVFIndex",
+    "IVFParams",
     "ImageCache",
     "KSelector",
     "LatentCache",

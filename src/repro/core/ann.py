@@ -1,0 +1,518 @@
+"""IVF-partitioned approximate-nearest-neighbor retrieval index.
+
+The exact retrieval path scans every live cache slot per query — one
+masked matrix-vector product, O(n·d).  That is the right call at the
+paper's 100k operating point, but the production target ("millions of
+users") puts millions of entries behind the semantic cache, where an
+exact scan per request re-enters the critical path.  This module
+supplies the sublinear alternative: an IVF (inverted-file) index that
+partitions the embedding space into ``nlist`` coarse cells and, per
+query, scans only the ``nprobe`` nearest cells' members.
+
+Design, in the order a request sees it:
+
+* **Lazy spherical k-means training** — the index trains itself on the
+  first search after occupancy reaches ``train_min`` live entries:
+  unit-normalized live embeddings (subsampled past ``train_sample``)
+  are clustered into ``nlist`` unit centroids by a fixed number of
+  Lloyd iterations.  Everything is seeded through :mod:`repro._rng`
+  (``seed_for``/``rng_for``), so training is bit-reproducible across
+  runs and machines.  Before training the owning cache serves queries
+  through its exact path, so a cold cache behaves identically to the
+  exact backend.
+* **Packed inverted lists** — each cell stores its members' embeddings
+  in a contiguous float32 block (the classic IVF layout), so probing a
+  cell is one sequential block-matvec instead of a row gather from the
+  big matrix — gather overhead, not flops, dominates the re-rank at
+  scale.  Inserts assign their slot to the nearest coarse centroid in
+  O(nlist·d) and append to that cell's block; evictions flip a
+  row-valid bit (a lazy tombstone) and cells compact once tombstones
+  outnumber live rows.  Cells also keep a running sum of their live
+  members, generalizing the cache-global ``centroid()`` running-mean
+  sketch to one mean per cell — the cluster router's cache-affinity
+  policy reads these per-cell means instead of maintaining its own
+  sketch.
+* **Multi-probe search with exact re-rank** — a query scores the
+  ``nlist`` coarse centroids (one small matvec), scans the ``nprobe``
+  best cells' blocks in float32, masks tombstoned rows, and re-scores
+  the winners against the cache's float64 embedding matrix — so the
+  *similarities* the scheduler thresholds are always exact; only
+  *which* entries were considered is approximate.  Ties break toward
+  the lowest slot id and every step is a deterministic function of the
+  index state.
+* **Drift control** — assignment anchors are fixed between trainings;
+  after ``retrain_inserts`` insertions (default: two full cache
+  turnovers) the index retrains from the current live set so anchors
+  track the workload.
+
+Memory overhead beyond the owning cache: the float32 blocks (half the
+f64 matrix's bytes, amortized-doubling slack at most 2x that) plus
+O(capacity) slot bookkeeping and O(nlist·d) centroid state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro._rng import rng_for
+
+#: Retrieval backends ``VectorCache`` accepts (``config.retrieval_backend``).
+RETRIEVAL_BACKENDS: Tuple[str, ...] = ("exact", "ivf")
+
+
+@dataclass(frozen=True)
+class IVFParams:
+    """Tunables of an :class:`IVFIndex` (zeros mean "auto").
+
+    ``nlist`` — number of coarse cells; auto picks ``~sqrt(capacity)``
+    clamped to [8, 4096], the standard IVF sizing.  ``nprobe`` — cells
+    scanned per query; recall rises and speedup falls with it.
+    ``train_min`` — live entries required before the index trains (auto:
+    ``max(256, 4·nlist)``); below it the cache serves exact.
+    ``train_sample`` caps the k-means training subsample,
+    ``train_iters`` the Lloyd iterations.  ``retrain_inserts`` — inserts
+    between automatic retrainings (auto: ``2·capacity``; the running
+    per-cell means track drift in between).  ``seed`` namespaces every
+    random draw through :func:`repro._rng.rng_for`.
+    """
+
+    nlist: int = 0
+    nprobe: int = 8
+    train_min: int = 0
+    train_sample: int = 65_536
+    train_iters: int = 10
+    retrain_inserts: int = 0
+    seed: str = "ivf"
+
+    def __post_init__(self) -> None:
+        if self.nlist < 0:
+            raise ValueError("nlist must be >= 0 (0 = auto)")
+        if self.nprobe < 1:
+            raise ValueError("nprobe must be >= 1")
+        if self.train_min < 0:
+            raise ValueError("train_min must be >= 0 (0 = auto)")
+        if self.train_sample < 1:
+            raise ValueError("train_sample must be >= 1")
+        if self.train_iters < 1:
+            raise ValueError("train_iters must be >= 1")
+        if self.retrain_inserts < 0:
+            raise ValueError("retrain_inserts must be >= 0 (0 = auto)")
+
+    def resolved_nlist(self, capacity: int) -> int:
+        if self.nlist:
+            return min(self.nlist, capacity)
+        return max(8, min(4096, round(math.sqrt(capacity))))
+
+    def resolved_train_min(self, capacity: int) -> int:
+        nlist = self.resolved_nlist(capacity)
+        if self.train_min:
+            return self.train_min
+        return max(256, 4 * nlist)
+
+    def resolved_retrain_inserts(self, capacity: int) -> int:
+        if self.retrain_inserts:
+            return self.retrain_inserts
+        return 2 * capacity
+
+
+class IVFIndex:
+    """Inverted-file index over a cache's preallocated embedding matrix.
+
+    ``matrix`` and ``live`` are the owning cache's buffers (never
+    reallocated); the index reads them for training and exact re-ranking
+    but only the cache mutates them.  The cache drives the index through
+    :meth:`add` / :meth:`remove` on insert/evict and :meth:`ready` /
+    :meth:`search` / :meth:`search_topk` on retrieval.
+
+    Per-cell state is row-parallel: ``_lists[c][r]`` is the slot whose
+    float32 embedding sits in ``_blocks[c][r]`` and whose liveness bit
+    is ``_valid[c][r]``.  ``_row_of[slot]`` locates a live slot's row in
+    its assigned cell, so eviction flips one bit without scanning.
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        live: np.ndarray,
+        params: IVFParams,
+    ):
+        capacity, _ = matrix.shape
+        self._matrix = matrix
+        self._live = live
+        self.params = params
+        self.nlist = params.resolved_nlist(capacity)
+        # Clamped to nlist: below that occupancy train() cannot fit the
+        # requested cells, and an unclamped gate would make every
+        # retrieval in [train_min, nlist) attempt (and abort) training.
+        self.train_min = max(
+            params.resolved_train_min(capacity), self.nlist
+        )
+        self._retrain_inserts = params.resolved_retrain_inserts(capacity)
+        self._centroids: Optional[np.ndarray] = None  # (nlist, d), unit
+        self._lists: List[List[int]] = []
+        self._list_arrays: List[Optional[np.ndarray]] = []
+        self._blocks: List[Optional[np.ndarray]] = []  # (cap, d) f32
+        self._valid: List[Optional[np.ndarray]] = []  # (cap,) bool
+        self._stale: List[int] = []  # tombstoned rows per cell
+        # Running sums/counts of each cell's *live* members — the
+        # per-cell generalization of VectorCache's centroid sketch.
+        self._cell_sums: Optional[np.ndarray] = None
+        self._cell_counts: Optional[np.ndarray] = None
+        # slot -> assigned cell (-1 = unassigned/dead) and slot -> row
+        # within that cell's block.
+        self._assign = np.full(capacity, -1, dtype=np.int64)
+        self._row_of = np.zeros(capacity, dtype=np.int64)
+        # Memoized coarse_centroids() result; the cluster router reads
+        # the sketch on every arrival, so rebuild it only after the
+        # cell sums actually change (insert/evict/train).
+        self._coarse_memo: Optional[np.ndarray] = None
+        self._inserts_since_train = 0
+        self.trainings = 0
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    @property
+    def trained(self) -> bool:
+        return self._centroids is not None
+
+    def ready(self, n_live: int) -> bool:
+        """True when searches should take the IVF path; trains lazily.
+
+        Called by the cache on every retrieval: trains the index the
+        first time occupancy reaches ``train_min`` (and again after
+        ``retrain_inserts`` insertions), then reports whether the coarse
+        structure exists.
+        """
+        if n_live >= self.train_min and (
+            not self.trained
+            or self._inserts_since_train >= self._retrain_inserts
+        ):
+            self.train()
+        return self.trained
+
+    def train(self) -> None:
+        """(Re)fit coarse centroids from live embeddings and rebuild cells."""
+        slots = np.flatnonzero(self._live)
+        if slots.size < max(2, self.nlist):
+            return
+        data = self._matrix[slots]
+        norms = np.sqrt(np.einsum("ij,ij->i", data, data))
+        norms[norms == 0.0] = 1.0
+        data = data / norms[:, None]
+        rng = rng_for(self.params.seed, "ivf-train", self.trainings)
+        if slots.size > self.params.train_sample:
+            sample = rng.choice(
+                slots.size, size=self.params.train_sample, replace=False
+            )
+            sample.sort()
+            train_data = data[sample]
+        else:
+            train_data = data
+        self._centroids = _spherical_kmeans(
+            train_data, self.nlist, self.params.train_iters, rng
+        )
+        self._rebuild_cells(slots, data)
+        self._inserts_since_train = 0
+        self.trainings += 1
+
+    def _rebuild_cells(
+        self, slots: np.ndarray, unit_data: np.ndarray
+    ) -> None:
+        assert self._centroids is not None
+        nlist = self._centroids.shape[0]
+        dim = self._matrix.shape[1]
+        assign = _chunked_argmax(unit_data, self._centroids)
+        self._assign[:] = -1
+        self._assign[slots] = assign
+        order = np.argsort(assign, kind="stable")
+        counts = np.bincount(assign, minlength=nlist)
+        self._lists = []
+        self._blocks = []
+        self._valid = []
+        start = 0
+        for cell in range(nlist):
+            stop = start + int(counts[cell])
+            members = slots[order[start:stop]]
+            self._row_of[members] = np.arange(members.size)
+            self._lists.append(members.tolist())
+            if members.size:
+                self._blocks.append(
+                    self._matrix[members].astype(np.float32)
+                )
+                self._valid.append(np.ones(members.size, dtype=bool))
+            else:
+                self._blocks.append(None)
+                self._valid.append(None)
+            start = stop
+        self._list_arrays = [None] * nlist
+        self._stale = [0] * nlist
+        self._cell_sums = np.zeros((nlist, dim))
+        np.add.at(self._cell_sums, assign, self._matrix[slots])
+        self._cell_counts = counts.astype(np.int64)
+        self._coarse_memo = None
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def _append_row(
+        self, cell: int, slot: int, embedding: np.ndarray
+    ) -> None:
+        row = len(self._lists[cell])
+        block = self._blocks[cell]
+        if block is None or row >= block.shape[0]:
+            grown = np.empty(
+                (max(8, 2 * row), self._matrix.shape[1]),
+                dtype=np.float32,
+            )
+            valid = np.zeros(grown.shape[0], dtype=bool)
+            if block is not None:
+                grown[:row] = block[:row]
+                valid[:row] = self._valid[cell][:row]
+            self._blocks[cell] = grown
+            self._valid[cell] = valid
+            block = grown
+        block[row] = embedding
+        self._valid[cell][row] = True
+        self._lists[cell].append(slot)
+        self._list_arrays[cell] = None
+        self._row_of[slot] = row
+
+    def add(self, slot: int, embedding: np.ndarray) -> None:
+        """Assign a freshly inserted slot to its nearest coarse cell."""
+        self._inserts_since_train += 1
+        if not self.trained:
+            return
+        # argmax of dot(emb, unit centroids): positive scaling of the
+        # embedding cannot change the winner, so the raw embedding is
+        # scored directly (a zero embedding lands in cell 0).
+        cell = int(np.argmax(self._centroids @ embedding))
+        self._assign[slot] = cell
+        self._append_row(cell, slot, embedding)
+        self._cell_sums[cell] += embedding
+        self._cell_counts[cell] += 1
+        self._coarse_memo = None
+
+    def remove(self, slot: int, embedding: np.ndarray) -> None:
+        """Tombstone an evicted slot (row-valid bit flip, no scan)."""
+        if not self.trained:
+            return
+        cell = int(self._assign[slot])
+        if cell < 0:
+            return
+        self._assign[slot] = -1
+        self._valid[cell][self._row_of[slot]] = False
+        self._cell_sums[cell] -= embedding
+        self._cell_counts[cell] -= 1
+        self._coarse_memo = None
+        self._stale[cell] += 1
+        live_members = len(self._lists[cell]) - self._stale[cell]
+        if self._stale[cell] > max(16, live_members):
+            self._compact(cell)
+
+    def _compact(self, cell: int) -> None:
+        """Drop a cell's tombstoned rows, repacking the live ones."""
+        members = self._cell_members(cell)
+        keep = self._valid[cell][: members.size]
+        kept = members[keep]
+        self._lists[cell] = kept.tolist()
+        self._list_arrays[cell] = None
+        if kept.size:
+            self._blocks[cell] = self._blocks[cell][: members.size][
+                keep
+            ]
+            self._valid[cell] = np.ones(kept.size, dtype=bool)
+            self._row_of[kept] = np.arange(kept.size)
+        else:
+            self._blocks[cell] = None
+            self._valid[cell] = None
+        self._stale[cell] = 0
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def _cell_members(self, cell: int) -> np.ndarray:
+        arr = self._list_arrays[cell]
+        if arr is None:
+            arr = np.asarray(self._lists[cell], dtype=np.int64)
+            self._list_arrays[cell] = arr
+        return arr
+
+    def _probe(
+        self, query_unit: np.ndarray
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+        """Concatenated (slots, f32 sims) over the probed cells.
+
+        Tombstoned rows score ``-inf`` so they can never win; cells are
+        visited in a deterministic order, so the concatenation — and
+        therefore every downstream argmax tie-break — is a pure
+        function of the index state.  Returns ``(None, None)`` when
+        every probed cell is empty (callers fall back to exact).
+        """
+        assert self._centroids is not None
+        csims = self._centroids @ query_unit
+        nprobe = min(self.params.nprobe, csims.shape[0])
+        if nprobe < csims.shape[0]:
+            probe = np.argpartition(csims, -nprobe)[-nprobe:]
+        else:
+            probe = np.arange(csims.shape[0])
+        q32 = query_unit.astype(np.float32)
+        slot_parts = []
+        sim_parts = []
+        for cell in probe:
+            cell = int(cell)
+            m = len(self._lists[cell])
+            if m == 0:
+                continue
+            sims = self._blocks[cell][:m] @ q32
+            if self._stale[cell]:
+                sims[~self._valid[cell][:m]] = -np.inf
+            slot_parts.append(self._cell_members(cell))
+            sim_parts.append(sims)
+        if not slot_parts:
+            return None, None
+        return np.concatenate(slot_parts), np.concatenate(sim_parts)
+
+    def _exact_sim(self, slot: int, query_unit: np.ndarray) -> float:
+        """Full-precision cosine of one slot (winners are re-scored
+        against the f64 matrix, so returned similarities never carry
+        the f32 block-scan error)."""
+        return float(np.dot(self._matrix[slot], query_unit))
+
+    def search(
+        self, query_unit: np.ndarray
+    ) -> Optional[Tuple[int, float]]:
+        """Best live slot and its exact similarity, or None.
+
+        Exact f32 similarity ties (identical cached embeddings) break
+        toward the lowest slot id, matching :meth:`search_topk`'s
+        ordering for duplicate entries.
+        """
+        slots, sims = self._probe(query_unit)
+        if slots is None:
+            return None
+        best = int(np.argmax(sims))
+        best_sim = sims[best]
+        if best_sim == -np.inf:
+            return None  # every probed row tombstoned
+        best_slot = int(slots[sims == best_sim].min())
+        return best_slot, self._exact_sim(best_slot, query_unit)
+
+    def search_topk(
+        self, query_unit: np.ndarray, k: int
+    ) -> List[Tuple[int, float]]:
+        """Top-``k`` live slots over the probed cells, best first.
+
+        Approximate in the IVF sense: entries outside the probed cells
+        are invisible, so fewer than ``k`` pairs can come back even when
+        occupancy exceeds ``k``.  Selection runs on the f32 blocks; the
+        selected rows are re-scored and ordered by exact f64 similarity
+        (lowest slot id breaking ties).
+        """
+        slots, sims = self._probe(query_unit)
+        if slots is None:
+            return []
+        valid = np.flatnonzero(sims > -np.inf)
+        if valid.size == 0:
+            return []
+        if k < valid.size:
+            vsims = sims[valid]
+            kth = vsims[np.argpartition(vsims, -k)[-k:]].min()
+            # >= kth keeps every candidate tied at the selection
+            # boundary, so the f64 re-rank — not argpartition's
+            # arbitrary tie order — decides which of them survive.
+            sel = slots[valid[vsims >= kth]]
+        else:
+            sel = slots[valid]
+        exact = self._matrix[sel] @ query_unit
+        order = np.lexsort((sel, -exact))[:k]
+        return [(int(sel[i]), float(exact[i])) for i in order]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def coarse_centroids(self) -> Optional[np.ndarray]:
+        """Per-cell means of live members, one row per non-empty cell.
+
+        The multi-centroid semantic sketch the cluster router's
+        cache-affinity policy scores against — running sums, never a
+        matrix scan, memoized between cache mutations (the router reads
+        it per arrival; treat the returned array as read-only).
+        """
+        if not self.trained:
+            return None
+        if self._coarse_memo is None:
+            occupied = self._cell_counts > 0
+            if not occupied.any():
+                return None
+            self._coarse_memo = (
+                self._cell_sums[occupied]
+                / self._cell_counts[occupied, None]
+            )
+        return self._coarse_memo
+
+    def scan_entries(self, n_live: int) -> int:
+        """Modelled per-query work in entry-scan units.
+
+        The coarse scan touches ``nlist`` centroids and the block scan
+        an expected ``n_live·nprobe/nlist`` members (uniform-occupancy
+        approximation), so the scheduler's modelled retrieval latency
+        stays sublinear in cache size.
+        """
+        if not self.trained:
+            return n_live
+        expected = math.ceil(
+            n_live * min(1.0, self.params.nprobe / self.nlist)
+        )
+        return min(n_live, self.nlist + expected)
+
+
+def _spherical_kmeans(
+    data: np.ndarray,
+    nlist: int,
+    iters: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Unit centroids from unit ``data`` rows via Lloyd iterations.
+
+    Deterministic given ``rng``: initial centroids are a uniform sample
+    of distinct rows; an emptied cluster keeps its previous centroid.
+    With fewer rows than ``nlist`` the surplus centroids reuse sampled
+    rows (choice with replacement) — harmless, they converge apart or
+    stay duplicates and the probe scan tolerates both.
+    """
+    n = data.shape[0]
+    replace = n < nlist
+    init = rng.choice(n, size=nlist, replace=replace)
+    centroids = data[init].copy()
+    for _ in range(iters):
+        assign = _chunked_argmax(data, centroids)
+        sums = np.zeros_like(centroids)
+        np.add.at(sums, assign, data)
+        counts = np.bincount(assign, minlength=nlist)
+        occupied = counts > 0
+        centroids[occupied] = sums[occupied] / counts[occupied, None]
+        norms = np.sqrt(
+            np.einsum("ij,ij->i", centroids, centroids)
+        )
+        norms[norms == 0.0] = 1.0
+        centroids /= norms[:, None]
+    return centroids
+
+
+def _chunked_argmax(
+    data: np.ndarray, centroids: np.ndarray, chunk: int = 16_384
+) -> np.ndarray:
+    """Row-wise ``argmax(data @ centroids.T)`` without a giant temporary."""
+    n = data.shape[0]
+    out = np.empty(n, dtype=np.int64)
+    for start in range(0, n, chunk):
+        stop = min(n, start + chunk)
+        out[start:stop] = np.argmax(
+            data[start:stop] @ centroids.T, axis=1
+        )
+    return out

@@ -13,6 +13,14 @@ is what lets the scan stay at the paper's 0.05 s / 100k-entry budget as
 occupancy grows (§5.2).  Eviction bookkeeping is O(1) amortized (FIFO/LRU)
 or O(log n) (utility heap) via lazy tombstones, never an O(n) list scan.
 
+Past that budget — million-entry caches — even the exact O(n) scan is the
+bottleneck, so retrieval is pluggable: ``backend="ivf"`` puts an
+IVF-partitioned approximate index (:mod:`repro.core.ann`) behind the same
+``retrieve``/``retrieve_topk``/``retrieve_batch`` surface, scanning only
+the ``nprobe`` nearest coarse cells per query with an exact re-rank over
+the gathered candidates.  The default ``"exact"`` backend leaves every
+scan path byte-identical to the pre-index implementation.
+
 :class:`ShardedVectorCache` partitions the embedding matrix across shards
 with per-shard stats so capacity scales past one contiguous matrix.
 
@@ -42,6 +50,7 @@ from typing import (
 
 import numpy as np
 
+from repro.core.ann import IVFIndex, IVFParams, RETRIEVAL_BACKENDS
 from repro.diffusion.latent import CachedLatent, SyntheticImage
 
 #: Measured retrieval latency: 0.05 s against 100k cached embeddings (§5.2),
@@ -260,18 +269,33 @@ class VectorCache(Generic[PayloadT]):
         capacity: int,
         embed_dim: int,
         policy: str = "fifo",
+        backend: str = "exact",
+        ann: Optional[IVFParams] = None,
         _id_source: Optional[Iterator[int]] = None,
     ):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         if embed_dim < 1:
             raise ValueError("embed_dim must be >= 1")
+        if backend not in RETRIEVAL_BACKENDS:
+            raise ValueError(
+                f"unknown retrieval backend {backend!r}; "
+                f"available: {list(RETRIEVAL_BACKENDS)}"
+            )
         self._capacity = capacity
         self._embed_dim = embed_dim
         self._policy_name = policy
+        self._backend = backend
         self._policy = make_eviction_policy(policy)
         self._matrix = np.zeros((capacity, embed_dim))
         self._live = np.zeros(capacity, dtype=bool)
+        # IVF index over the (fixed) matrix/live buffers; None on the
+        # exact backend, which keeps the pre-index scan path untouched.
+        self._index: Optional[IVFIndex] = (
+            IVFIndex(self._matrix, self._live, ann or IVFParams())
+            if backend == "ivf"
+            else None
+        )
         # Running sum of live embeddings — an O(d) centroid sketch the
         # cluster router's cache-affinity policy reads on every arrival.
         self._embedding_sum = np.zeros(embed_dim)
@@ -297,6 +321,15 @@ class VectorCache(Generic[PayloadT]):
     def policy(self) -> str:
         return self._policy_name
 
+    @property
+    def backend(self) -> str:
+        return self._backend
+
+    @property
+    def index(self) -> Optional[IVFIndex]:
+        """The IVF index (``None`` on the exact backend)."""
+        return self._index
+
     def __len__(self) -> int:
         return self._capacity - len(self._free_slots)
 
@@ -316,9 +349,33 @@ class VectorCache(Generic[PayloadT]):
             if e is not None
         )
 
+    def scan_entries(self) -> int:
+        """Modelled entries touched per query (sublinear once IVF trains)."""
+        n = len(self)
+        if self._index is not None and self._index.trained:
+            return self._index.scan_entries(n)
+        return n
+
     def retrieval_latency_s(self) -> float:
         """Scheduler-side latency of one similarity scan at current size."""
-        return len(self) * RETRIEVAL_SECONDS_PER_ENTRY
+        return self.scan_entries() * RETRIEVAL_SECONDS_PER_ENTRY
+
+    def coarse_centroids(self) -> Optional[np.ndarray]:
+        """Semantic sketch of the contents, one centroid per row.
+
+        With a trained IVF index this is the per-cell running means —
+        the multi-centroid sketch cache-affinity routing scores against;
+        otherwise it degrades to the single running-mean
+        :meth:`centroid` as a 1-row matrix.  ``None`` when empty.
+        """
+        if self._index is not None:
+            coarse = self._index.coarse_centroids()
+            if coarse is not None:
+                return coarse
+        single = self.centroid()
+        if single is None:
+            return None
+        return single[None, :]
 
     def centroid(self) -> Optional[np.ndarray]:
         """Mean of the live embeddings, or None when the cache is empty.
@@ -363,6 +420,8 @@ class VectorCache(Generic[PayloadT]):
         self._matrix[slot] = entry.embedding
         self._live[slot] = True
         self._embedding_sum += entry.embedding
+        if self._index is not None:
+            self._index.add(slot, entry.embedding)
         self._slot_of[entry.entry_id] = slot
         self._policy.on_insert(slot, entry)
         self.last_inserted = entry
@@ -373,6 +432,8 @@ class VectorCache(Generic[PayloadT]):
         slot = self._policy.victim(self._entries)
         entry = self._entries[slot]
         assert entry is not None
+        if self._index is not None:
+            self._index.remove(slot, entry.embedding)
         self._entries[slot] = None
         self._matrix[slot] = 0.0
         self._live[slot] = False
@@ -405,6 +466,14 @@ class VectorCache(Generic[PayloadT]):
         qnorm = math.sqrt(float(np.dot(query, query)))
         if qnorm == 0.0:
             return None, 0.0
+        if self._index is not None and self._index.ready(len(self)):
+            found = self._index.search(query / qnorm)
+            if found is not None:
+                slot, sim = found
+                entry = self._entries[slot]
+                assert entry is not None
+                return entry, sim
+            # Every probed cell empty/tombstoned: exact fallback below.
         sims = self._matrix @ (query / qnorm)
         # Mask dead slots (zero rows, sim exactly 0.0) so they can never
         # shadow a live entry with a negative similarity.  A full cache —
@@ -423,7 +492,10 @@ class VectorCache(Generic[PayloadT]):
         """The ``k`` most-similar live entries, best first.
 
         Uses ``argpartition`` — O(n + k log k), not a full sort.  Returns
-        fewer than ``k`` pairs when occupancy is below ``k``.
+        fewer than ``k`` pairs when occupancy is below ``k`` — or, on
+        the IVF backend, when the probed cells hold fewer than ``k``
+        live entries (entries outside the probe set are invisible to
+        an approximate lookup).
         """
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -435,6 +507,16 @@ class VectorCache(Generic[PayloadT]):
         qnorm = math.sqrt(float(np.dot(query, query)))
         if qnorm == 0.0:
             return []
+        if self._index is not None and self._index.ready(n_live):
+            found = self._index.search_topk(query / qnorm, k)
+            if found:
+                out = []
+                for slot, sim in found:
+                    entry = self._entries[slot]
+                    assert entry is not None
+                    out.append((entry, sim))
+                return out
+            # Every probed cell empty/tombstoned: exact fallback below.
         sims = self._matrix @ (query / qnorm)
         masked = (
             np.where(self._live, sims, -np.inf)
@@ -472,6 +554,17 @@ class VectorCache(Generic[PayloadT]):
         n = queries.shape[0]
         if n == 1:
             return [self.retrieve(queries[0])]
+        if (
+            self._index is not None
+            and len(self)
+            and self._index.ready(len(self))
+        ):
+            # Per-row IVF searches: candidate gathering is inherently
+            # per-query, and routing every row through the single-query
+            # path keeps batched results bit-identical to sequential
+            # calls (each row still pays only the probed cells, so the
+            # batch stays sublinear in cache size).
+            return [self.retrieve(queries[i]) for i in range(n)]
         self.lookups += n
         empty: Tuple[Optional[CacheEntry[PayloadT]], float] = (None, 0.0)
         if len(self) == 0:
@@ -536,6 +629,8 @@ class ShardedVectorCache(Generic[PayloadT]):
         embed_dim: int,
         policy: str = "fifo",
         n_shards: int = 4,
+        backend: str = "exact",
+        ann: Optional[IVFParams] = None,
     ):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -544,6 +639,7 @@ class ShardedVectorCache(Generic[PayloadT]):
         if n_shards > capacity:
             raise ValueError("n_shards must not exceed capacity")
         self._policy_name = policy
+        self._backend = backend
         self._ids = itertools.count()
         base, extra = divmod(capacity, n_shards)
         self._shards: List[VectorCache[PayloadT]] = [
@@ -551,6 +647,8 @@ class ShardedVectorCache(Generic[PayloadT]):
                 capacity=base + (1 if i < extra else 0),
                 embed_dim=embed_dim,
                 policy=policy,
+                backend=backend,
+                ann=ann,
                 _id_source=self._ids,
             )
             for i in range(n_shards)
@@ -570,6 +668,10 @@ class ShardedVectorCache(Generic[PayloadT]):
     @property
     def policy(self) -> str:
         return self._policy_name
+
+    @property
+    def backend(self) -> str:
+        return self._backend
 
     @property
     def n_shards(self) -> int:
@@ -603,12 +705,31 @@ class ShardedVectorCache(Generic[PayloadT]):
         """Total payload storage across all shards."""
         return sum(s.storage_bytes() for s in self._shards)
 
+    def scan_entries(self) -> int:
+        """Modelled entries touched per query — shards scan in
+        parallel, so the largest shard's scan, matching
+        :meth:`retrieval_latency_s`."""
+        return max(s.scan_entries() for s in self._shards)
+
     def retrieval_latency_s(self) -> float:
         """Latency of one scan — shards scan in parallel, so the modelled
         cost is the largest shard's occupancy, not the sum."""
         return max(
             s.retrieval_latency_s() for s in self._shards
         )
+
+    def coarse_centroids(self) -> Optional[np.ndarray]:
+        """Stacked per-shard coarse sketches (``None`` when all empty)."""
+        sketches = [
+            sketch
+            for sketch in (
+                s.coarse_centroids() for s in self._shards
+            )
+            if sketch is not None
+        ]
+        if not sketches:
+            return None
+        return np.concatenate(sketches, axis=0)
 
     def centroid(self) -> Optional[np.ndarray]:
         """Occupancy-weighted mean across shard centroids (None if empty)."""
@@ -721,17 +842,25 @@ def make_image_cache(
     embed_dim: int,
     policy: str = "fifo",
     n_shards: int = 1,
+    backend: str = "exact",
+    ann: Optional[IVFParams] = None,
 ):
     """Build an image cache, sharded when ``n_shards > 1``."""
     if n_shards <= 1:
         return ImageCache(
-            capacity=capacity, embed_dim=embed_dim, policy=policy
+            capacity=capacity,
+            embed_dim=embed_dim,
+            policy=policy,
+            backend=backend,
+            ann=ann,
         )
     return ShardedImageCache(
         capacity=capacity,
         embed_dim=embed_dim,
         policy=policy,
         n_shards=n_shards,
+        backend=backend,
+        ann=ann,
     )
 
 

@@ -75,9 +75,10 @@ class RoutingPolicy:
 
     ``loads`` is the per-replica load signal (queued + in-service, or
     cache occupancy during warm-up) and ``centroids`` the per-replica
-    cache-centroid sketches (``None`` for empty or cache-less replicas).
-    Implementations must be deterministic: equal scores resolve to the
-    lowest replica index.
+    cache-centroid sketches (``None`` for empty or cache-less replicas;
+    a 1-D running-mean centroid, or a 2-D matrix of coarse IVF cell
+    centroids scored row-wise).  Implementations must be deterministic:
+    equal scores resolve to the lowest replica index.
     """
 
     name = "base"
@@ -165,8 +166,15 @@ class CacheAffinityRouting(RoutingPolicy):
     A request's hit probability depends on *which* replica's cache holds
     its semantic neighbors, so the router scores the request embedding
     against every replica's centroid sketch and sends it to the nearest
-    one.  Equal similarities keep the lowest replica index (strict ``>``
-    comparison), so equidistant replicas tie-break deterministically.
+    one.  A sketch is whatever the replica's cache exposes through
+    ``coarse_centroids()``: the single running-mean centroid on the
+    exact backend, or the per-cell means of a trained IVF index — the
+    same coarse structure the index probes, not a router-private sketch.
+    Multi-centroid sketches score as the best row (nearest cell), so an
+    IVF-backed replica attracts requests near *any* of its semantic
+    clusters.  Equal similarities keep the lowest replica index (strict
+    ``>`` comparison), so equidistant replicas tie-break
+    deterministically.
 
     The affinity choice is overridden when it would pile load onto an
     already-hot replica: if the chosen replica's load exceeds
@@ -198,23 +206,41 @@ class CacheAffinityRouting(RoutingPolicy):
         self.imbalance_cap = imbalance_cap
         self.spill_slack = spill_slack
 
+    @staticmethod
+    def _sketch_similarity(
+        query: np.ndarray, qnorm: float, sketch: np.ndarray
+    ) -> float:
+        """Best cosine between the query and the sketch's centroid rows.
+
+        The 1-row (running-mean) case replays the exact scalar ops of
+        the pre-IVF single-centroid scorer, keeping multi-replica
+        routing decisions bit-identical on the exact backend.  Multi-row
+        IVF sketches score as one matvec — O(nlist·d) BLAS work per
+        replica, not nlist python-level dot calls.
+        """
+        if sketch.ndim == 1 or sketch.shape[0] == 1:
+            row = sketch if sketch.ndim == 1 else sketch[0]
+            cnorm = math.sqrt(float(np.dot(row, row)))
+            if cnorm == 0.0:
+                return -math.inf
+            return float(np.dot(query, row)) / (qnorm * cnorm)
+        norms = np.sqrt(np.einsum("ij,ij->i", sketch, sketch))
+        occupied = norms > 0.0
+        if not occupied.any():
+            return -math.inf
+        sims = (sketch @ query)[occupied] / (qnorm * norms[occupied])
+        return float(sims.max())
+
     def route(self, query, loads, centroids) -> int:
         best = -1
         best_sim = -math.inf
         if query is not None:
             qnorm = math.sqrt(float(np.dot(query, query)))
             if qnorm > 0.0:
-                for i, centroid in enumerate(centroids):
-                    if centroid is None:
+                for i, sketch in enumerate(centroids):
+                    if sketch is None:
                         continue
-                    cnorm = math.sqrt(
-                        float(np.dot(centroid, centroid))
-                    )
-                    if cnorm == 0.0:
-                        continue
-                    sim = float(np.dot(query, centroid)) / (
-                        qnorm * cnorm
-                    )
+                    sim = self._sketch_similarity(query, qnorm, sketch)
                     if sim > best_sim:
                         best = i
                         best_sim = sim
@@ -294,10 +320,22 @@ class ClusterRouter:
 
     @staticmethod
     def _centroid(replica: BaseServingSystem) -> Optional[np.ndarray]:
+        """The replica cache's semantic sketch.
+
+        Prefers the shared multi-centroid sketch
+        (``cache.coarse_centroids()`` — the IVF coarse cells once an
+        index trains, the running-mean centroid as a 1-row matrix
+        otherwise), so affinity routing and the retrieval index read
+        the same trained structure instead of keeping separate ones.
+        """
         cache = getattr(replica, "cache", None)
-        if cache is None or not hasattr(cache, "centroid"):
+        if cache is None:
             return None
-        return cache.centroid()
+        if hasattr(cache, "coarse_centroids"):
+            return cache.coarse_centroids()
+        if hasattr(cache, "centroid"):
+            return cache.centroid()
+        return None
 
     def _centroids(
         self, replicas: Sequence[BaseServingSystem]

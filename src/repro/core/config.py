@@ -7,6 +7,7 @@ from enum import Enum
 from typing import Optional, Tuple
 
 from repro._rng import seed_for
+from repro.core.ann import RETRIEVAL_BACKENDS
 from repro.core.cache import EVICTION_POLICIES
 from repro.diffusion.registry import GPU_SPECS
 
@@ -251,6 +252,14 @@ class MoDMConfig:
     ``cache_shards > 1`` partitions the embedding store across that many
     shards for beyond-one-matrix capacity.
 
+    ``retrieval_backend`` selects the similarity-scan implementation:
+    ``"exact"`` (default) is the masked-argmax full scan, bit-for-bit
+    the pre-index behavior; ``"ivf"`` puts the IVF approximate index
+    (:mod:`repro.core.ann`) behind the cache for sublinear lookups at
+    million-entry scale.  ``ann_nlist`` / ``ann_nprobe`` /
+    ``ann_train_min`` tune the index (zeros mean auto-sizing from the
+    cache capacity); all are ignored by the exact backend.
+
     ``slo`` opts into the SLO subsystem (deadline-aware dispatch,
     admission control, graceful degradation).  ``None`` — the default —
     keeps the engine's decisions bit-for-bit identical to the policy-free
@@ -265,6 +274,10 @@ class MoDMConfig:
     cache_shards: int = 1
     cache_admission: CacheAdmission = CacheAdmission.ALL
     retrieval: str = "text-to-image"
+    retrieval_backend: str = "exact"
+    ann_nlist: int = 0
+    ann_nprobe: int = 8
+    ann_train_min: int = 0
     monitor_mode: MonitorMode = MonitorMode.THROUGHPUT
     monitor_period_s: float = 60.0
     monitor_window_s: float = 300.0
@@ -293,6 +306,18 @@ class MoDMConfig:
             raise ValueError(
                 "retrieval must be 'text-to-image' or 'text-to-text'"
             )
+        if self.retrieval_backend not in RETRIEVAL_BACKENDS:
+            raise ValueError(
+                f"unknown retrieval_backend "
+                f"{self.retrieval_backend!r}; "
+                f"available: {list(RETRIEVAL_BACKENDS)}"
+            )
+        if self.ann_nlist < 0 or self.ann_train_min < 0:
+            raise ValueError(
+                "ann_nlist/ann_train_min must be >= 0 (0 = auto)"
+            )
+        if self.ann_nprobe < 1:
+            raise ValueError("ann_nprobe must be >= 1")
         if self.monitor_period_s <= 0 or self.monitor_window_s <= 0:
             raise ValueError("monitor periods must be positive")
         if self.embed_latency_s < 0:

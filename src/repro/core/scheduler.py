@@ -8,7 +8,10 @@ policy and let FIFO maintenance evict the oldest entry.
 
 All scheduler work (embedding + similarity scan) happens off the GPU
 workers; its latency (~0.06 s at 100k entries) is charged to the request,
-not to a worker.
+not to a worker.  The scan itself is the cache's pluggable retrieval
+backend (``config.retrieval_backend``): the exact masked-argmax path, or
+the IVF approximate index whose sublinear probe cost flows into the
+charged scheduler latency through ``cache.retrieval_latency_s()``.
 """
 
 from __future__ import annotations

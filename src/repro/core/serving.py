@@ -37,6 +37,7 @@ from repro.cluster.energy import EnergyMeter, EnergyReport
 from repro.cluster.events import EventLoop
 from repro.cluster.stats import StatsCollector
 from repro.cluster.worker import GPUWorker, Job
+from repro.core.ann import IVFParams
 from repro.core.cache import make_image_cache
 from repro.core.config import (
     ClusterConfig,
@@ -748,6 +749,13 @@ class MoDMSystem(BaseServingSystem):
             embed_dim=retrieval.embed_dim,
             policy=config.cache_policy,
             n_shards=config.cache_shards,
+            backend=config.retrieval_backend,
+            ann=IVFParams(
+                nlist=config.ann_nlist,
+                nprobe=config.ann_nprobe,
+                train_min=config.ann_train_min,
+                seed=config.seed,
+            ),
         )
         base_selector = selector or modm_default_selector()
         if config.threshold_shift:
