@@ -9,16 +9,22 @@ alongside them so the perf trajectory can be tracked across PRs:
 * ``write_json(name, payload, also_root=...)`` — write an explicit JSON
   payload (used by the serving hot-path benchmark, whose JSON artefact is
   the point of the benchmark and is therefore written unconditionally).
+* ``profiled(name)`` — context manager wrapping a measured run in
+  :mod:`cProfile` when the suite runs with ``--profile``, dumping
+  ``results/<name>.pstats`` for ``pstats``/``snakeviz``; a no-op
+  otherwise.
 
-``JSON_ENABLED`` is set by ``conftest.py`` from the ``--json`` pytest
-flag.
+``JSON_ENABLED`` / ``PROFILE_ENABLED`` are set by ``conftest.py`` from
+the ``--json`` / ``--profile`` pytest flags.
 """
 
 from __future__ import annotations
 
+import cProfile
 import json
 import os
-from typing import Any, Dict, Optional
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
 
 from repro.experiments.reporting import ExperimentResult
 
@@ -27,6 +33,31 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: Toggled by conftest.pytest_configure when pytest runs with --json.
 JSON_ENABLED = False
+
+#: Toggled by conftest.pytest_configure when pytest runs with --profile.
+PROFILE_ENABLED = False
+
+
+@contextmanager
+def profiled(name: str) -> Iterator[Optional[cProfile.Profile]]:
+    """Profile the enclosed block when ``--profile`` is active.
+
+    Dumps ``results/<name>.pstats`` on exit (load with
+    ``pstats.Stats(path)`` or any flamegraph viewer).  Without the flag
+    the block runs untouched, so benchmarks wrap their measured runs in
+    this unconditionally.
+    """
+    if not PROFILE_ENABLED:
+        yield None
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        profiler.dump_stats(os.path.join(RESULTS_DIR, f"{name}.pstats"))
 
 
 def _jsonable(value: Any) -> Any:

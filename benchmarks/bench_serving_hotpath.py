@@ -20,13 +20,22 @@ trajectory is tracked across PRs:
   keyed draw, target vector, and embedding recurs exactly.
 
 All three engines are asserted **bit-identical** on every per-request
-decision and completion time; only wall time may differ.  The acceptance
-bar is >= 3x end-to-end at the 10k-request scale for the steady-state
-engine, and both speedups are recorded in ``benchmarks/results/
-serving_hotpath.json`` plus the repo-root ``BENCH_serving.json``.
+decision and completion time; only run time may differ.  Speedups are
+ratios of **process CPU time** (wall time is recorded alongside): on
+shared infrastructure host steal arrives in bursts, so with one engine
+phase lasting minutes a contended window can distort a wall-clock
+ratio by 3-4x in either direction.  The acceptance bars are >= 3x
+end-to-end at the 10k-request ``default`` scale and >= 10x at the
+100k-request steady-state ``paper`` scale, and the speedups are
+recorded in ``benchmarks/results/serving_hotpath.json`` plus the
+repo-root ``BENCH_serving.json``.
 
-``REPRO_BENCH_SCALE=smoke`` serves 1.2k requests (CI); ``default`` and
-``paper`` serve the acceptance-scale 10k.
+``REPRO_BENCH_SCALE=smoke`` serves 1.2k requests (CI); ``default``
+keeps the historical 10k configuration so the trend line stays
+comparable across PRs; ``paper`` serves a 100k-request steady-state
+configuration (64 workers, small cache) where per-event engine
+overhead — full worker polls, linear deque scans, per-record wakeup
+closures — dominates the pre-PR runtime.
 """
 
 from __future__ import annotations
@@ -35,7 +44,7 @@ import collections
 import time
 
 from repro._rng import directions, directions_disabled
-from repro.core.config import ClusterConfig, MoDMConfig
+from repro.core.config import CacheAdmission, ClusterConfig, MoDMConfig
 from repro.core.serving import MoDMSystem, clear_hotpath_memos
 from repro.embedding.space import SemanticSpace
 from repro.experiments.reporting import ExperimentResult
@@ -44,14 +53,22 @@ from repro.workloads import DiffusionDBConfig, diffusiondb_trace
 import _output
 from conftest import bench_scale
 
-#: (warm prompts, served requests, cache capacity) per scale; smoke stays
-#: CI-sized, default/paper run the acceptance-scale 10k-request trace.
+#: (warm prompts, served requests, cache capacity, workers, admission,
+#: image_id_len_cap) per scale; smoke stays CI-sized, default keeps the
+#: historical 10k/16-worker acceptance config, paper runs the 100k
+#: steady-state config.  Paper scale uses the paper's cache-large
+#: admission plus a bounded image-id lineage
+#: (``MoDMConfig.image_id_len_cap``): large-model refinements of cache
+#: hits are themselves re-admitted, so even under cache-large the
+#: refinement chains — and with them image-id/memo-key length, a cost
+#: both engines share — grow linearly with depth; capping keeps the
+#: 100k measurement isolating per-event engine overhead instead of
+#: string growth.
 _SIZES = {
-    "smoke": (300, 1_200, 600),
-    "default": (2_000, 10_000, 2_000),
-    "paper": (2_000, 10_000, 2_000),
+    "smoke": (300, 1_200, 600, 16, CacheAdmission.ALL, None),
+    "default": (2_000, 10_000, 2_000, 16, CacheAdmission.ALL, None),
+    "paper": (2_000, 100_000, 512, 128, CacheAdmission.LARGE_ONLY, 256),
 }
-_N_WORKERS = 16
 _TRACE_SEED = "serving-hotpath-v1"
 
 
@@ -72,6 +89,43 @@ class PrePRMoDMSystem(MoDMSystem):
         # Shadow the ready-queues with the old plain deques.
         self._miss_queue = collections.deque()
         self._hit_queue = collections.deque()
+
+    def _schedule_trace_arrivals(self, records):
+        # Pre-PR: one heap entry (tuple + closure) per arrival cohort
+        # instead of the timeline lane's sorted-array cursor.
+        start = 0
+        for i in range(1, len(records) + 1):
+            if (
+                i == len(records)
+                or records[i].arrival_s != records[start].arrival_s
+            ):
+                self._schedule_arrivals(records[start:i])
+                start = i
+
+    def _start(self, worker, item, now):
+        # Pre-PR: one completion closure per job, no same-timestamp
+        # completion cohorts.
+        from repro.core.serving import Job
+
+        record = item.record
+        job = Job(
+            request_id=record.request_id,
+            model=item.model.spec,
+            steps=item.steps,
+            kind="refine" if item.source_image is not None else "full",
+            skipped_steps=item.skipped_steps,
+            extra_seconds=self._worker_overhead_s(item),
+        )
+        finish = worker.assign(job, now)
+        self._idle_workers.discard(worker.worker_id)
+        record.service_start_s = now
+        record.worker_id = worker.worker_id
+        record.model_name = item.model.spec.name
+        record.steps_run = item.steps
+        self._in_service[record.request_id] = item
+        self.loop.schedule(
+            finish, lambda t, w=worker: self._complete(w, t)
+        )
 
     def _handle_arrivals(self, records, now):
         decisions = self.scheduler.decide_batch(
@@ -132,7 +186,9 @@ class PrePRMoDMSystem(MoDMSystem):
 
 
 def _build_workload(scale):
-    warm_n, serve_n, cache_capacity = _SIZES[scale]
+    warm_n, serve_n, cache_capacity, n_workers, admission, id_cap = (
+        _SIZES[scale]
+    )
     space = SemanticSpace()
     trace = diffusiondb_trace(
         space,
@@ -140,26 +196,34 @@ def _build_workload(scale):
     )
     warm = [r.prompt for r in trace.requests[:warm_n]]
     serve = trace.slice(warm_n, warm_n + serve_n).rebase()
-    return space, warm, serve, cache_capacity
+    return space, warm, serve, cache_capacity, n_workers, admission, id_cap
 
 
-def _run_engine(system_cls, space, warm, serve, cache_capacity):
-    """One full end-to-end run; returns (wall seconds, report)."""
+def _run_engine(
+    system_cls, space, warm, serve, cache_capacity, n_workers,
+    admission=CacheAdmission.ALL, id_cap=None,
+):
+    """One full end-to-end run; returns (wall s, cpu s, report)."""
     system = system_cls(
         space,
         MoDMConfig(
             cluster=ClusterConfig(
-                gpu_name="MI210", n_workers=_N_WORKERS
+                gpu_name="MI210", n_workers=n_workers
             ),
             cache_capacity=cache_capacity,
             small_models=("sdxl",),
             store_images=False,
+            cache_admission=admission,
+            image_id_len_cap=id_cap,
         ),
     )
     system.warm_cache(warm)
-    start = time.perf_counter()
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
     report = system.run(serve)
-    return time.perf_counter() - start, report
+    cpu_s = time.process_time() - cpu0
+    wall_s = time.perf_counter() - wall0
+    return wall_s, cpu_s, report
 
 
 def _signature(report):
@@ -178,24 +242,32 @@ def _signature(report):
 
 def test_serving_hotpath(benchmark):
     scale = bench_scale()
-    space, warm, serve, cache_capacity = _build_workload(scale)
+    space, warm, serve, cache_capacity, n_workers, admission, id_cap = (
+        _build_workload(scale)
+    )
 
     def experiment():
         # Pre-PR engine: legacy dispatch + reference per-call synthesis.
         clear_hotpath_memos(space)
         with directions_disabled():
-            legacy_s, legacy_report = _run_engine(
-                PrePRMoDMSystem, space, warm, serve, cache_capacity
-            )
+            with _output.profiled("serving_hotpath_pre_pr"):
+                legacy_s, legacy_cpu, legacy_report = _run_engine(
+                    PrePRMoDMSystem, space, warm, serve, cache_capacity,
+                    n_workers, admission, id_cap,
+                )
         # Fast engine, cold: every process-wide memo empty.
         clear_hotpath_memos(space)
-        cold_s, cold_report = _run_engine(
-            MoDMSystem, space, warm, serve, cache_capacity
-        )
+        with _output.profiled("serving_hotpath_fast_cold"):
+            cold_s, cold_cpu, cold_report = _run_engine(
+                MoDMSystem, space, warm, serve, cache_capacity,
+                n_workers, admission, id_cap,
+            )
         # Fast engine, steady state: memos warm from the previous run.
-        steady_s, steady_report = _run_engine(
-            MoDMSystem, space, warm, serve, cache_capacity
-        )
+        with _output.profiled("serving_hotpath_fast_steady"):
+            steady_s, steady_cpu, steady_report = _run_engine(
+                MoDMSystem, space, warm, serve, cache_capacity,
+                n_workers, admission, id_cap,
+            )
 
         # The fast path may not change a single decision, latency, or
         # completion time — only wall time.
@@ -214,22 +286,28 @@ def test_serving_hotpath(benchmark):
         result.add_note(f"scale={scale}")
         result.add_note(
             f"{len(serve)} served requests, {len(warm)} warm prompts, "
-            f"cache={cache_capacity}, workers={_N_WORKERS}"
+            f"cache={cache_capacity}, workers={n_workers}, "
+            f"admission={admission.value}, id_cap={id_cap}"
         )
         result.add_note(
             "all engines verified bit-identical per-request "
             "(decisions + completion times)"
         )
-        for name, wall in (
-            ("pre_pr", legacy_s),
-            ("fast_cold", cold_s),
-            ("fast_steady", steady_s),
+        # Speedups are ratios of process CPU time, not wall time: on
+        # shared infrastructure host steal lands in bursts, so a 45 s
+        # phase hit by a contended window can report 3-4x its true
+        # cost.  CPU time is steal-immune; both clocks are recorded.
+        for name, wall, cpu in (
+            ("pre_pr", legacy_s, legacy_cpu),
+            ("fast_cold", cold_s, cold_cpu),
+            ("fast_steady", steady_s, steady_cpu),
         ):
             result.add_row(
                 engine=name,
                 wall_s=wall,
-                requests_per_s=len(serve) / wall,
-                speedup_vs_pre_pr=legacy_s / wall,
+                cpu_s=cpu,
+                requests_per_s=len(serve) / cpu,
+                speedup_vs_pre_pr=legacy_cpu / cpu,
             )
 
         payload = {
@@ -238,25 +316,30 @@ def test_serving_hotpath(benchmark):
             "n_requests": len(serve),
             "n_warm": len(warm),
             "cache_capacity": cache_capacity,
-            "n_workers": _N_WORKERS,
+            "n_workers": n_workers,
+            "cache_admission": admission.value,
+            "image_id_len_cap": id_cap,
             "hit_rate": legacy_report.hit_rate,
             "bit_identical": True,
             "engines": {
                 "pre_pr": {
                     "wall_s": legacy_s,
-                    "requests_per_s": len(serve) / legacy_s,
+                    "cpu_s": legacy_cpu,
+                    "requests_per_s": len(serve) / legacy_cpu,
                 },
                 "fast_cold": {
                     "wall_s": cold_s,
-                    "requests_per_s": len(serve) / cold_s,
+                    "cpu_s": cold_cpu,
+                    "requests_per_s": len(serve) / cold_cpu,
                 },
                 "fast_steady": {
                     "wall_s": steady_s,
-                    "requests_per_s": len(serve) / steady_s,
+                    "cpu_s": steady_cpu,
+                    "requests_per_s": len(serve) / steady_cpu,
                 },
             },
-            "speedup_cold": legacy_s / cold_s,
-            "speedup_steady": legacy_s / steady_s,
+            "speedup_cold": legacy_cpu / cold_cpu,
+            "speedup_steady": legacy_cpu / steady_cpu,
         }
         _output.write_json(
             "serving_hotpath", payload, also_root="BENCH_serving.json"
@@ -271,11 +354,15 @@ def test_serving_hotpath(benchmark):
     by_engine = {row["engine"]: row for row in result.rows}
     # The fast path must never lose to the engine it replaced.
     assert by_engine["fast_cold"]["speedup_vs_pre_pr"] >= 1.0
-    # Acceptance bar: >= 3x end-to-end at the 10k-request scale in the
-    # steady state (the memo layer's operating regime).  Smoke runs are
-    # too short for stable wall-clock ratios; they only gate on > 1x.
+    # Acceptance bars: >= 3x end-to-end at the 10k-request default
+    # scale (the memo layer's operating regime) and >= 10x at the
+    # 100k-request steady-state paper scale, where per-event engine
+    # overhead dominates the pre-PR runtime.  Smoke runs are too short
+    # for stable wall-clock ratios; they only gate on > 1x.
     steady_speedup = by_engine["fast_steady"]["speedup_vs_pre_pr"]
     if scale == "smoke":
         assert steady_speedup > 1.0
+    elif scale == "paper":
+        assert steady_speedup >= 10.0
     else:
         assert steady_speedup >= 3.0

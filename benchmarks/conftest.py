@@ -9,7 +9,9 @@ representative; pytest-benchmark captures the wall time of regenerating
 each artefact.
 
 Run with ``--json`` to also write machine-readable
-``benchmarks/results/<id>.json`` twins of every text artefact.
+``benchmarks/results/<id>.json`` twins of every text artefact, and with
+``--profile`` to wrap every measured run in :mod:`cProfile` and dump
+``benchmarks/results/<id>.pstats`` profiles alongside them.
 """
 
 from __future__ import annotations
@@ -36,10 +38,22 @@ def pytest_addoption(parser):
             "artefacts alongside the text tables"
         ),
     )
+    parser.addoption(
+        "--profile",
+        action="store_true",
+        default=False,
+        help=(
+            "wrap each measured run in cProfile and dump "
+            "benchmarks/results/<id>.pstats artefacts"
+        ),
+    )
 
 
 def pytest_configure(config):
     _output.JSON_ENABLED = config.getoption("--json", default=False)
+    _output.PROFILE_ENABLED = config.getoption(
+        "--profile", default=False
+    )
 
 
 def bench_scale() -> str:
@@ -68,9 +82,13 @@ def run_experiment(benchmark, fn, ctx, **kwargs):
     otherwise only be visible on failure), plus a JSON twin when the
     suite runs with ``--json``.
     """
-    result = benchmark.pedantic(
-        lambda: fn(ctx, **kwargs), rounds=1, iterations=1
-    )
+    profile_id = getattr(fn, "__name__", "experiment")
+
+    def measured():
+        with _output.profiled(profile_id):
+            return fn(ctx, **kwargs)
+
+    result = benchmark.pedantic(measured, rounds=1, iterations=1)
     print()
     print(result.render())
     _output.emit(result)

@@ -3,6 +3,20 @@
 A minimal priority-queue scheduler: callbacks fire in timestamp order with a
 monotonically increasing sequence number breaking ties, so runs are
 bit-for-bit reproducible regardless of insertion order at equal timestamps.
+
+Two extensions support the columnar engine core:
+
+- a **timeline lane** (:meth:`EventLoop.schedule_timeline`): a serving run
+  knows every arrival cohort up front, so instead of pre-pushing one heap
+  entry (tuple + closure) per cohort the loop walks a sorted timestamp
+  array with a cursor.  Timeline entries win ties against heap events,
+  which reproduces the historical order exactly — arrivals were always
+  scheduled before any completion/wakeup could be, so they carried the
+  lowest sequence numbers at any shared timestamp;
+- **batched stepping** (:meth:`EventLoop.step_batch`): pops every event at
+  the head timestamp as one group, preserving the exact (time, seq) firing
+  order of repeated :meth:`step` calls, so dispatch layers can process
+  same-tick cohorts without re-peeking the heap between events.
 """
 
 from __future__ import annotations
@@ -11,7 +25,10 @@ import heapq
 import itertools
 from typing import Callable, List, Optional, Tuple
 
+import numpy as np
+
 Callback = Callable[[float], None]
+TimelineFire = Callable[[float, int], None]
 
 
 class EventLoop:
@@ -22,6 +39,14 @@ class EventLoop:
         self._seq = itertools.count()
         self._now = 0.0
         self._processed = 0
+        # Timeline lane state: the validated timestamp array, a plain
+        # python-float list twin (scalar indexing off a list is several
+        # times cheaper than off an ndarray in the hot loop), the fire
+        # callback, and the cursor.
+        self._tl_times: Optional[np.ndarray] = None
+        self._tl_list: List[float] = []
+        self._tl_fire: Optional[TimelineFire] = None
+        self._tl_idx = 0
 
     @property
     def now(self) -> float:
@@ -31,7 +56,10 @@ class EventLoop:
     @property
     def pending(self) -> int:
         """Number of scheduled, not-yet-fired events."""
-        return len(self._heap)
+        tl = 0
+        if self._tl_times is not None:
+            tl = len(self._tl_times) - self._tl_idx
+        return len(self._heap) + tl
 
     @property
     def processed(self) -> int:
@@ -56,15 +84,89 @@ class EventLoop:
             raise ValueError("delay must be non-negative")
         self.schedule(self._now + delay, callback)
 
+    def schedule_timeline(
+        self, times: np.ndarray, fire: TimelineFire
+    ) -> None:
+        """Install the pre-sorted event timeline ``fire(time, index)``.
+
+        ``times`` must be non-decreasing and start at or after ``now``.
+        Timeline entries fire *before* heap events at equal timestamps
+        (they stand in for events that would otherwise have been
+        scheduled first, e.g. a run's arrival cohorts).  One timeline at
+        a time: installing a second while entries remain raises.
+        """
+        if self._tl_times is not None and self._tl_idx < len(self._tl_times):
+            raise ValueError("a timeline with pending entries is installed")
+        times = np.ascontiguousarray(times, dtype=np.float64)
+        if len(times):
+            if times[0] < self._now:
+                raise ValueError(
+                    f"cannot schedule timeline starting at "
+                    f"{times[0]:.6f} before now ({self._now:.6f})"
+                )
+            if np.any(np.diff(times) < 0):
+                raise ValueError("timeline timestamps must be sorted")
+        self._tl_times = times
+        self._tl_list = times.tolist()
+        self._tl_fire = fire
+        self._tl_idx = 0
+
+    def _next_is_timeline(self) -> Optional[bool]:
+        """Which lane fires next: True=timeline, False=heap, None=empty."""
+        tl = self._tl_list
+        has_tl = self._tl_idx < len(tl)
+        if not self._heap:
+            return True if has_tl else None
+        if not has_tl:
+            return False
+        # Ties go to the timeline lane (see class docstring).
+        return tl[self._tl_idx] <= self._heap[0][0]
+
+    def _head_time(self) -> Optional[float]:
+        lane = self._next_is_timeline()
+        if lane is None:
+            return None
+        if lane:
+            return self._tl_list[self._tl_idx]
+        return self._heap[0][0]
+
+    def _fire_next(self) -> None:
+        if self._next_is_timeline():
+            i = self._tl_idx
+            time = self._tl_list[i]
+            self._tl_idx = i + 1
+            self._now = time
+            self._processed += 1
+            self._tl_fire(time, i)
+        else:
+            time, _, callback = heapq.heappop(self._heap)
+            self._now = time
+            self._processed += 1
+            callback(time)
+
     def step(self) -> bool:
         """Fire the next event; returns False when the queue is empty."""
-        if not self._heap:
+        if self._next_is_timeline() is None:
             return False
-        time, _, callback = heapq.heappop(self._heap)
-        self._now = time
-        self._processed += 1
-        callback(time)
+        self._fire_next()
         return True
+
+    def step_batch(self) -> int:
+        """Fire every event at the head timestamp; returns the count.
+
+        The group is open: events scheduled *at the batch timestamp* by
+        callbacks within the batch join it, exactly as they would fire
+        next under repeated :meth:`step`.  Firing order is identical to
+        repeated :meth:`step` — (time, seq) with timeline ties first.
+        """
+        time = self._head_time()
+        if time is None:
+            return 0
+        fired = 0
+        while self._head_time() == time:
+            self._fire_next()
+            fired += 1
+        return fired
 
     def run(
         self,
@@ -76,11 +178,52 @@ class EventLoop:
         Events scheduled exactly at ``until`` still fire; later ones stay
         queued (the clock never advances past the last fired event).
         """
+        if max_events is None:
+            # Fused drain: one lane decision per event, hot state in
+            # locals.  Fires in the exact (time, seq) order of repeated
+            # ``step()`` — the lane choice below mirrors
+            # ``_next_is_timeline`` (ties go to the timeline).
+            heap = self._heap
+            tl = self._tl_list
+            n_tl = len(tl)
+            fire = self._tl_fire
+            heappop = heapq.heappop
+            while True:
+                if tl is not self._tl_list:
+                    # A callback installed a fresh timeline mid-run.
+                    tl = self._tl_list
+                    n_tl = len(tl)
+                    fire = self._tl_fire
+                i = self._tl_idx
+                if i < n_tl:
+                    t_tl = tl[i]
+                    if heap and heap[0][0] < t_tl:
+                        head = heap[0][0]
+                        use_tl = False
+                    else:
+                        head = t_tl
+                        use_tl = True
+                elif heap:
+                    head = heap[0][0]
+                    use_tl = False
+                else:
+                    return
+                if until is not None and head > until:
+                    return
+                if use_tl:
+                    self._tl_idx = i + 1
+                    self._now = head
+                    self._processed += 1
+                    fire(head, i)
+                else:
+                    time, _, callback = heappop(heap)
+                    self._now = time
+                    self._processed += 1
+                    callback(time)
         fired = 0
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
-                break
-            if max_events is not None and fired >= max_events:
-                break
-            self.step()
+        while fired < max_events:
+            head = self._head_time()
+            if head is None or (until is not None and head > until):
+                return
+            self._fire_next()
             fired += 1

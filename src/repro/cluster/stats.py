@@ -15,7 +15,7 @@ slices rather than walking tuples.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,6 +30,9 @@ _SLO_KIND_CODE = {kind: i for i, kind in enumerate(SLO_EVENT_KINDS)}
 #: Codes 0..3 are the arrival-side admission kinds (accept/degrade/
 #: shed/late) whose planned slack feeds ``mean_slack_s``.
 _LAST_ADMISSION_CODE = _SLO_KIND_CODE["late"]
+
+# Appends between ring trims; see StatsCollector.__init__.
+_TRIM_INTERVAL = 512
 
 
 class _ColumnRing:
@@ -91,6 +94,12 @@ class _ColumnRing:
     def col(self, name: str) -> np.ndarray:
         """Live view of one column, oldest first."""
         return self._cols[name][self._head:self._tail]
+
+    def last_time(self) -> Optional[float]:
+        """Newest event time, or None when empty."""
+        if self._head >= self._tail:
+            return None
+        return float(self._cols["time"][self._tail - 1])
 
     def trim_before(self, cutoff: float) -> None:
         """Drop events with ``time < cutoff`` (head advance, no copy)."""
@@ -200,6 +209,12 @@ class StatsCollector:
         self.total_hits = 0
         self.total_misses = 0
         self.k_histogram: Dict[int, int] = {}
+        # Trimming only reclaims memory — windowed queries compute their
+        # own cutoff via searchsorted — so it runs every _TRIM_INTERVAL
+        # appends instead of on every event.  The live region is bounded
+        # by the window plus one interval.
+        self._trim_countdown = _TRIM_INTERVAL
+        self._slo_trim_countdown = _TRIM_INTERVAL
 
     @classmethod
     def merged(
@@ -219,6 +234,8 @@ class StatsCollector:
                 (c._max_window_s for c in collectors), default=3600.0
             )
         )
+        for collector in collectors:
+            collector._flush_trims()
         out._events.extend_merged([c._events for c in collectors])
         out._slo_events.extend_merged(
             [c._slo_events for c in collectors]
@@ -240,13 +257,18 @@ class StatsCollector:
             self.k_histogram[k] = self.k_histogram.get(k, 0) + 1
         else:
             self.total_misses += 1
-        self._trim(now)
+        self._trim_countdown -= 1
+        if self._trim_countdown <= 0:
+            self._trim_countdown = _TRIM_INTERVAL
+            self._trim(now)
 
     def window(self, now: float, window_s: float) -> WindowStats:
         """Stats over ``[now - window_s, now]``."""
         if window_s <= 0:
             raise ValueError("window_s must be positive")
-        start = self._events.window_start(now - window_s)
+        start = self._events.window_start(
+            self._query_cutoff(self._events, now, window_s)
+        )
         hit_col = self._events.col("hit")[start:]
         arrivals = hit_col.shape[0]
         hits = int(np.count_nonzero(hit_col))
@@ -277,13 +299,18 @@ class StatsCollector:
                 f"expected one of {SLO_EVENT_KINDS}"
             )
         self._slo_events.append(now, _SLO_KIND_CODE[kind], slack_s)
-        self._trim_slo(now)
+        self._slo_trim_countdown -= 1
+        if self._slo_trim_countdown <= 0:
+            self._slo_trim_countdown = _TRIM_INTERVAL
+            self._trim_slo(now)
 
     def slo_window(self, now: float, window_s: float) -> SloWindowStats:
         """SLO events over ``[now - window_s, now]``."""
         if window_s <= 0:
             raise ValueError("window_s must be positive")
-        start = self._slo_events.window_start(now - window_s)
+        start = self._slo_events.window_start(
+            self._query_cutoff(self._slo_events, now, window_s)
+        )
         kind_col = self._slo_events.col("kind")[start:]
         by_code = np.bincount(
             kind_col, minlength=len(SLO_EVENT_KINDS)
@@ -314,6 +341,33 @@ class StatsCollector:
 
     def _trim_slo(self, now: float) -> None:
         self._slo_events.trim_before(now - self._max_window_s)
+
+    def _query_cutoff(
+        self, ring: _ColumnRing, now: float, window_s: float
+    ) -> float:
+        """Window start, honouring the eager-trim retention boundary.
+
+        Trims are amortized, so the ring may still hold events older
+        than ``last append - max_window`` that per-append trimming would
+        already have dropped; queries wider than ``max_window_s`` must
+        not see them.
+        """
+        cutoff = now - window_s
+        last = ring.last_time()
+        if last is not None:
+            retention = last - self._max_window_s
+            if retention > cutoff:
+                return retention
+        return cutoff
+
+    def _flush_trims(self) -> None:
+        """Apply any deferred trims (pre-merge normalisation)."""
+        for ring in (self._events, self._slo_events):
+            last = ring.last_time()
+            if last is not None:
+                ring.trim_before(last - self._max_window_s)
+        self._trim_countdown = _TRIM_INTERVAL
+        self._slo_trim_countdown = _TRIM_INTERVAL
 
     @property
     def overall_hit_rate(self) -> float:

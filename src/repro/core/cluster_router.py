@@ -53,7 +53,7 @@ from repro.core.config import (
 )
 from repro.core.monitor import estimate_workloads
 from repro.core.pid import PIDController
-from repro.core.request import RequestRecord
+from repro.core.request import RequestRecord, RequestStore
 from repro.core.retrieval import (
     TextToImageRetrieval,
     TextToTextRetrieval,
@@ -618,6 +618,7 @@ class ClusterServingSystem:
         self._autoscaler: Optional[ReplicaAutoscaler] = None
         self._make_autoscaler()
         self.loop = EventLoop()
+        self.request_store = RequestStore()
         self.records: List[RequestRecord] = []
         self.routed_counts: List[int] = [0] * len(self.replicas)
         self.transfers: List[TransferEvent] = []
@@ -659,6 +660,7 @@ class ClusterServingSystem:
         """Serve ``trace`` across the fleet; returns the cluster report."""
         loop = EventLoop()
         self.loop = loop
+        self.request_store = RequestStore()
         self.records = []
         self.routed_counts = [0] * len(self.replicas)
         self.transfers = []
@@ -674,22 +676,31 @@ class ClusterServingSystem:
             replica._fleet = fleet
         self._offset_worker_ids()
 
-        # Same batching as BaseServingSystem.run: same-tick arrivals
-        # route and decide as one group.
-        batch: List[RequestRecord] = []
-        for request in trace:
-            record = RequestRecord(
-                request_id=request.request_id,
-                prompt=request.prompt,
-                arrival_s=request.arrival_s,
+        # Same cohorting as BaseServingSystem.run: the fleet's records
+        # live in one cluster-owned columnar store (replicas hold view
+        # handles), and same-tick arrivals route and decide as one group
+        # fired from the loop's timeline lane.
+        records = self.request_store.extend(list(trace))
+        self.records = records
+        if records:
+            arrivals = self.request_store.column("arrival_s")
+            starts = np.flatnonzero(
+                np.concatenate(([True], arrivals[1:] != arrivals[:-1]))
             )
-            self.records.append(record)
-            if batch and batch[0].arrival_s != record.arrival_s:
-                self._schedule_batch(batch)
-                batch = []
-            batch.append(record)
-        if batch:
-            self._schedule_batch(batch)
+            bounds = np.append(starts, len(records)).tolist()
+            if np.any(arrivals[1:] < arrivals[:-1]):
+                for i in range(len(starts)):
+                    self._schedule_batch(
+                        records[bounds[i] : bounds[i + 1]]
+                    )
+            else:
+
+                def fire_cohort(now: float, i: int) -> None:
+                    self._arrive_batch(
+                        records[bounds[i] : bounds[i + 1]], now
+                    )
+
+                loop.schedule_timeline(arrivals[starts], fire_cohort)
         for replica in self.replicas:
             replica._on_run_start()
         if self._autoscaler is not None:
@@ -809,9 +820,10 @@ class ClusterServingSystem:
         energy splits are approximate whenever ``transfers`` is
         non-empty.  The fleet energy total is exact regardless.
         """
-        makespan = max(
-            (r.completion_s for r in self.records if r.completed),
-            default=self.loop.now,
+        comp = self.request_store.column("completion_s")
+        finished = comp[comp == comp]
+        makespan = (
+            float(finished.max()) if finished.size else self.loop.now
         )
         meter = EnergyMeter()
         per_replica: List[ServingReport] = []

@@ -264,6 +264,17 @@ class MoDMConfig:
     admission control, graceful degradation).  ``None`` — the default —
     keeps the engine's decisions bit-for-bit identical to the policy-free
     engine.
+
+    ``image_id_len_cap`` bounds image-id lineage growth: a refined
+    image's id embeds its source's full id, so under cache admission
+    policies that re-admit refined outputs the ids (and the memo keys
+    built from them) grow linearly with refinement-chain depth.  A cap
+    replaces any source-id component longer than the cap with its
+    16-hex-digit :func:`repro._rng.seed_for` digest, keeping every id
+    O(cap) bytes.  ``None`` — the default — preserves the historical
+    unbounded format bit-for-bit (image ids seed per-image sampling
+    noise, so capping changes generated content for runs whose chains
+    exceed the cap; golden traces pin the default).
     """
 
     large_model: str = "sd3.5-large"
@@ -287,6 +298,7 @@ class MoDMConfig:
     seed: str = "run0"
     store_images: bool = True
     slo: Optional[SLOPolicy] = None
+    image_id_len_cap: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.small_models:
@@ -322,3 +334,5 @@ class MoDMConfig:
             raise ValueError("monitor periods must be positive")
         if self.embed_latency_s < 0:
             raise ValueError("embed_latency_s must be non-negative")
+        if self.image_id_len_cap is not None and self.image_id_len_cap < 1:
+            raise ValueError("image_id_len_cap must be >= 1 (or None)")

@@ -50,7 +50,11 @@ from repro.core.kselection import (
     scale_k_steps,
 )
 from repro.core.monitor import Allocation, GlobalMonitor, MonitorConfig
-from repro.core.request import RequestRecord
+from repro.core.request import (
+    RequestRecord,
+    RequestStore,
+    columnar_view,
+)
 from repro.core.slo import (
     PathEstimate,
     SloGate,
@@ -128,10 +132,29 @@ class ServingReport:
     _slo_summarized: bool = field(
         default=False, repr=False, compare=False
     )
+    _columns: Optional[tuple] = field(
+        default=None, repr=False, compare=False
+    )
+    _columns_resolved: bool = field(
+        default=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Derived serving metrics
     # ------------------------------------------------------------------
+    def _store_rows(self):
+        """``(store, rows)`` when the records share one columnar store.
+
+        Engine-produced reports always do (rows are bulk-allocated by
+        ``run``), turning every reduction below into a single numpy
+        gather; hand-assembled reports (tests) fall back to the
+        per-record loops.
+        """
+        if not self._columns_resolved:
+            self._columns = columnar_view(self.records)
+            self._columns_resolved = True
+        return self._columns
+
     def completed(self) -> List[RequestRecord]:
         if self._completed is None:
             self._completed = [r for r in self.records if r.completed]
@@ -139,13 +162,30 @@ class ServingReport:
 
     @property
     def n_completed(self) -> int:
+        if self._completed is None:
+            cv = self._store_rows()
+            if cv is not None:
+                store, rows = cv
+                comp = store.gather("completion_s", rows)
+                return int(np.count_nonzero(comp == comp))
         return len(self.completed())
 
     def latencies(self) -> np.ndarray:
         if self._latencies is None:
-            self._latencies = np.array(
-                [r.latency_s for r in self.completed()]
-            )
+            cv = self._store_rows()
+            if cv is not None:
+                store, rows = cv
+                comp = store.gather("completion_s", rows)
+                mask = comp == comp
+                # Same elementwise IEEE subtraction, in record order, as
+                # the per-record ``latency_s`` loop — bit-identical.
+                self._latencies = (
+                    comp[mask] - store.gather("arrival_s", rows)[mask]
+                )
+            else:
+                self._latencies = np.array(
+                    [r.latency_s for r in self.completed()]
+                )
             # Cached arrays are shared across calls: freeze them so a
             # caller-side in-place sort cannot corrupt later reads.
             self._latencies.flags.writeable = False
@@ -153,17 +193,28 @@ class ServingReport:
 
     def completion_times(self) -> np.ndarray:
         if self._completion_times is None:
-            self._completion_times = np.array(
-                [r.completion_s for r in self.completed()]
-            )
+            cv = self._store_rows()
+            if cv is not None:
+                store, rows = cv
+                comp = store.gather("completion_s", rows)
+                self._completion_times = comp[comp == comp]
+            else:
+                self._completion_times = np.array(
+                    [r.completion_s for r in self.completed()]
+                )
             self._completion_times.flags.writeable = False
         return self._completion_times
 
     def arrival_times(self) -> np.ndarray:
         if self._arrival_times is None:
-            self._arrival_times = np.array(
-                [r.arrival_s for r in self.records]
-            )
+            cv = self._store_rows()
+            if cv is not None:
+                store, rows = cv
+                self._arrival_times = store.gather("arrival_s", rows)
+            else:
+                self._arrival_times = np.array(
+                    [r.arrival_s for r in self.records]
+                )
             self._arrival_times.flags.writeable = False
         return self._arrival_times
 
@@ -340,12 +391,14 @@ class BaseServingSystem:
         cluster: ClusterConfig,
         seed: str = "run0",
         store_images: bool = True,
+        image_id_len_cap: Optional[int] = None,
     ):
         self._space = space
         self._cluster = cluster
         self._gpu = get_gpu(cluster.gpu_name)
         self._seed = seed
         self._store_images = store_images
+        self._image_id_len_cap = image_id_len_cap
         self._model_sims: Dict[str, DiffusionModelSim] = {}
         # Subclasses install a gate to opt into the SLO subsystem; None
         # keeps every code path identical to the policy-free engine.
@@ -404,7 +457,11 @@ class BaseServingSystem:
     def model_sim(self, name: str) -> DiffusionModelSim:
         sim = self._model_sims.get(name)
         if sim is None:
-            sim = DiffusionModelSim(get_model(name), self._space)
+            sim = DiffusionModelSim(
+                get_model(name),
+                self._space,
+                image_id_len_cap=self._image_id_len_cap,
+            )
             self._model_sims[name] = sim
         return sim
 
@@ -417,8 +474,12 @@ class BaseServingSystem:
         self._workers_by_id: Dict[int, GPUWorker] = {
             w.worker_id: w for w in self.workers
         }
+        self.request_store = RequestStore()
         self.records: List[RequestRecord] = []
         self._in_service: Dict[int, _WorkItem] = {}
+        # Workers finishing at the same timestamp complete as one cohort
+        # event: map finish time -> workers, in schedule order.
+        self._completion_buckets: Dict[float, List[GPUWorker]] = {}
         self._n_completed = 0
         self._n_shed = 0
         self._n_expected = 0
@@ -439,30 +500,32 @@ class BaseServingSystem:
         """Serve ``trace`` to completion (or until the time horizon)."""
         self._reset_runtime()
         self._n_expected = len(trace)
-        # Group same-tick arrivals into one event so systems with a
-        # batched decision path score them as a single matrix product.
-        batch: List[RequestRecord] = []
-        for request in trace:
-            record = RequestRecord(
-                request_id=request.request_id,
-                prompt=request.prompt,
-                arrival_s=request.arrival_s,
-            )
-            self.records.append(record)
-            if batch and batch[0].arrival_s != record.arrival_s:
-                self._schedule_arrivals(batch)
-                batch = []
-            batch.append(record)
-        if batch:
-            self._schedule_arrivals(batch)
+        # Bulk-allocate every request into the columnar store, then walk
+        # arrivals through the loop's timeline lane: one lane entry per
+        # same-tick cohort, so systems with a batched decision path score
+        # each cohort as a single matrix product and the heap never holds
+        # per-arrival closures.
+        records = self.request_store.extend(list(trace))
+        self.records = records
+        if records:
+            self._schedule_trace_arrivals(records)
         self._on_run_start()
         self.loop.run(until=until)
-        makespan = max(
-            (r.completion_s for r in self.records if r.completed),
-            default=self.loop.now,
-        )
+        makespan = self._makespan()
         energy = EnergyMeter().measure(self.workers, makespan)
         return self._build_report(trace, energy)
+
+    def _makespan(self) -> float:
+        """Last completion time over this run's records (loop.now if none).
+
+        Single-engine runs own their store, so this is one masked numpy
+        max over the completion column rather than a record scan.
+        """
+        comp = self.request_store.column("completion_s")
+        finished = comp[comp == comp]
+        if finished.size:
+            return float(finished.max())
+        return self.loop.now
 
     def _build_report(
         self, trace: Trace, energy: EnergyReport
@@ -475,6 +538,33 @@ class BaseServingSystem:
             workers=self.workers,
             stats=self.stats,
         )
+
+    def _schedule_trace_arrivals(
+        self, records: List[RequestRecord]
+    ) -> None:
+        """Install a run's arrival cohorts on the loop's timeline lane.
+
+        Adjacent same-tick records form one cohort (the store rows are in
+        trace order, so cohort bounds come from one vectorized compare).
+        Hand-built out-of-order traces fall back to per-cohort heap
+        events — the heap provides the sort the timeline lane refuses.
+        """
+        arrivals = self.request_store.column("arrival_s")
+        starts = np.flatnonzero(
+            np.concatenate(([True], arrivals[1:] != arrivals[:-1]))
+        )
+        bounds = np.append(starts, len(records)).tolist()
+        if np.any(arrivals[1:] < arrivals[:-1]):
+            for i in range(len(starts)):
+                self._schedule_arrivals(
+                    records[bounds[i] : bounds[i + 1]]
+                )
+            return
+
+        def fire_cohort(now: float, i: int) -> None:
+            self._arrive_batch(records[bounds[i] : bounds[i + 1]], now)
+
+        self.loop.schedule_timeline(arrivals[starts], fire_cohort)
 
     def _schedule_arrivals(self, batch: List[RequestRecord]) -> None:
         self.loop.schedule(
@@ -523,6 +613,10 @@ class BaseServingSystem:
             if item is None:
                 continue
             self._start(worker, item, now)
+            # The queues only shrink while dispatching: once no ready
+            # work remains, the rest of the scan is a no-op — skip it.
+            if not self._has_ready_work(now):
+                return
 
     def _start(self, worker: GPUWorker, item: _WorkItem, now: float) -> None:
         record = item.record
@@ -541,14 +635,26 @@ class BaseServingSystem:
         record.model_name = item.model.spec.name
         record.steps_run = item.steps
         self._in_service[record.request_id] = item
-        self.loop.schedule(
-            finish,
-            lambda t, w=worker: self._complete(w, t),
-        )
+        # Same-timestamp completions form one cohort event; workers are
+        # completed in schedule order within the cohort, and each record
+        # still dispatches individually (deferring dispatch to the end of
+        # the cohort would change worker assignment and break the golden
+        # traces).
+        bucket = self._completion_buckets.get(finish)
+        if bucket is None:
+            self._completion_buckets[finish] = [worker]
+            self.loop.schedule(finish, self._complete_cohort)
+        else:
+            bucket.append(worker)
 
     def _worker_overhead_s(self, item: _WorkItem) -> float:
         """Extra worker-blocking seconds (baselines override)."""
         return 0.0
+
+    def _complete_cohort(self, now: float) -> None:
+        """Complete every worker that finished at ``now``, in order."""
+        for worker in self._completion_buckets.pop(now):
+            self._complete(worker, now)
 
     def _complete(self, worker: GPUWorker, now: float) -> None:
         job = worker.complete(now)
@@ -728,6 +834,7 @@ class MoDMSystem(BaseServingSystem):
             config.cluster,
             seed=config.seed,
             store_images=config.store_images,
+            image_id_len_cap=config.image_id_len_cap,
         )
         self.config = config
         self._large_spec = get_model(config.large_model)

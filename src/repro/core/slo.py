@@ -27,9 +27,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.cluster.stats import StatsCollector
 from repro.core.config import SLOClass, SLOPolicy
-from repro.core.request import RequestRecord, SLORejection
+from repro.core.request import (
+    RequestRecord,
+    SLORejection,
+    columnar_view,
+)
 
 
 @dataclass(frozen=True)
@@ -219,6 +225,34 @@ def summarize_slo(
 
     Returns None when no record carries a deadline (SLO mode was off).
     """
+    cv = columnar_view(records)
+    if cv is not None:
+        store, rows = cv
+        deadline = store.gather("deadline_s", rows)
+        has_deadline = deadline == deadline
+        total = int(np.count_nonzero(has_deadline))
+        if total == 0:
+            return None
+        deadline = deadline[has_deadline]
+        rows = rows[has_deadline]
+        shed_mask = store.gather("shed", rows)
+        comp = store.gather("completion_s", rows)
+        completed = comp == comp
+        in_time = ~shed_mask & completed & (comp <= deadline)
+        return SloSummary(
+            total=total,
+            completed_in_time=int(np.count_nonzero(in_time)),
+            completed_late=int(
+                np.count_nonzero(~shed_mask & completed & ~in_time)
+            ),
+            shed=int(np.count_nonzero(shed_mask)),
+            degraded=int(
+                np.count_nonzero(
+                    store.gather("degraded", rows) & ~shed_mask
+                )
+            ),
+            unfinished=int(np.count_nonzero(~shed_mask & ~completed)),
+        )
     with_deadline: List[RequestRecord] = [
         r for r in records if r.deadline_s is not None
     ]

@@ -97,11 +97,17 @@ class DiffusionModelSim:
     an id counter, so a single instance can serve many simulated workers.
     """
 
-    def __init__(self, spec: ModelSpec, space: SemanticSpace):
+    def __init__(
+        self,
+        spec: ModelSpec,
+        space: SemanticSpace,
+        image_id_len_cap: Optional[int] = None,
+    ):
         self._spec = spec
         self._space = space
         self._schedule = spec.schedule()
         self._counter = itertools.count()
+        self._id_len_cap = image_id_len_cap
         # Disambiguates image ids across differently-parametrized specs of
         # the same model (image ids key encoder caches, so two images with
         # the same id must have identical content).
@@ -442,6 +448,15 @@ class DiffusionModelSim:
     def _next_image_id(
         self, prompt_id: str, seed: str, source_id: str = "scratch"
     ) -> str:
+        cap = self._id_len_cap
+        if cap is not None and len(source_id) > cap:
+            # Lineage compression (``MoDMConfig.image_id_len_cap``): a
+            # refined image's id embeds its source's full id, so chains
+            # of re-admitted refinements grow ids linearly with depth.
+            # Replacing an over-cap source component with its digest
+            # keeps every id O(cap) bytes; the trailing per-sim counter
+            # keeps ids unique regardless of digest collisions.
+            source_id = f"~{seed_for(source_id):016x}"
         return (
             f"{self._spec.name}/{self._spec_digest}/{seed}/{prompt_id}/"
             f"{source_id}/{next(self._counter)}"

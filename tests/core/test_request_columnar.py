@@ -1,0 +1,169 @@
+"""Columnar RequestStore: vectorized reductions pinned to the
+per-record reference path, bit for bit.
+
+Engine-produced reports share one :class:`RequestStore`, so
+``ServingReport`` accessors and ``summarize_slo`` reduce whole columns
+with single numpy gathers.  Hand-assembled records (each constructed
+standalone, i.e. carrying a private store) exercise the original
+per-record loops.  These properties build the same logical record set
+both ways and assert every public reduction answers identically —
+including float-for-float equality of ``latencies()``, whose
+elementwise IEEE subtraction the columnar path replays in record
+order.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.energy import EnergyReport
+from repro.cluster.stats import StatsCollector
+from repro.core.request import (
+    Decision,
+    RequestRecord,
+    RequestStore,
+    SLORejection,
+    columnar_view,
+)
+from repro.core.serving import ServingReport
+from repro.core.slo import summarize_slo
+
+_SLOW = settings(
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+)
+
+_TIMES = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, width=64
+)
+
+#: One request's lifecycle: optional stages are drawn as offsets from
+#: arrival so generated timelines stay physically ordered.
+_SPEC = st.fixed_dictionaries(
+    {
+        "arrival": _TIMES,
+        "dur": st.one_of(st.none(), _TIMES),
+        "deadline": st.one_of(st.none(), _TIMES),
+        "hit": st.booleans(),
+        "k": st.integers(min_value=0, max_value=50),
+        "sim": st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        "shed": st.booleans(),
+        "degraded": st.booleans(),
+        "slo": st.sampled_from([None, "strict", "relaxed"]),
+    }
+)
+
+#: Decision only requires hits to carry *some* retrieved payload.
+_IMAGE = object()
+
+
+def _apply(record, spec, decision, rejection):
+    record.decision = decision
+    record.enqueued_s = spec["arrival"]
+    if spec["deadline"] is not None:
+        record.deadline_s = spec["arrival"] + spec["deadline"]
+    if rejection is not None:
+        record.rejection = rejection
+    elif spec["dur"] is not None:
+        record.service_start_s = spec["arrival"]
+        record.completion_s = spec["arrival"] + spec["dur"]
+    record.degraded = spec["degraded"]
+    if spec["slo"] is not None:
+        record.slo_class = spec["slo"]
+
+
+def _build(specs):
+    """The same logical records twice: shared store vs standalone."""
+    store = RequestStore()
+    shared, standalone = [], []
+    for i, spec in enumerate(specs):
+        prompt = f"p{i}"
+        decision = Decision(
+            hit=spec["hit"],
+            similarity=spec["sim"],
+            k_steps=spec["k"],
+            retrieved_image=_IMAGE if spec["hit"] else None,
+        )
+        rejection = None
+        if spec["shed"]:
+            rejection = SLORejection(
+                time_s=spec["arrival"],
+                slo_class=spec["slo"] or "strict",
+                deadline_s=spec["arrival"] + (spec["deadline"] or 0.0),
+                best_estimate_s=spec["arrival"] + 1.0,
+            )
+        pair = (
+            store.new_record(i, prompt, spec["arrival"]),
+            RequestRecord(
+                request_id=i, prompt=prompt, arrival_s=spec["arrival"]
+            ),
+        )
+        for record in pair:
+            _apply(record, spec, decision, rejection)
+        shared.append(pair[0])
+        standalone.append(pair[1])
+    return shared, standalone
+
+
+def _report(records):
+    return ServingReport(
+        system="prop",
+        trace_name="trace",
+        records=list(records),
+        energy=EnergyReport(0.0, 0.0, 0.0, 0.0, 0),
+        workers=[],
+        stats=StatsCollector(),
+    )
+
+
+@given(specs=st.lists(_SPEC, max_size=30))
+@_SLOW
+def test_report_reductions_match_reference(specs):
+    shared, standalone = _build(specs)
+    if len(specs) >= 2:
+        # The twins genuinely take different paths: one shared store
+        # vs per-record private stores (no common columnar view).
+        assert columnar_view(shared) is not None
+        assert columnar_view(standalone) is None
+    # View handles compare by value across stores.
+    assert shared == standalone
+    fast, reference = _report(shared), _report(standalone)
+    assert fast.n_completed == reference.n_completed
+    assert fast.latencies().tolist() == reference.latencies().tolist()
+    assert (
+        fast.completion_times().tolist()
+        == reference.completion_times().tolist()
+    )
+    assert (
+        fast.arrival_times().tolist()
+        == reference.arrival_times().tolist()
+    )
+
+
+@given(specs=st.lists(_SPEC, max_size=30))
+@_SLOW
+def test_slo_summary_matches_reference(specs):
+    shared, standalone = _build(specs)
+    assert summarize_slo(shared) == summarize_slo(standalone)
+
+
+@given(specs=st.lists(_SPEC, max_size=30))
+@_SLOW
+def test_gather_matches_record_properties(specs):
+    shared, _ = _build(specs)
+    view = columnar_view(shared)
+    if view is None:
+        assert len(shared) <= 1
+        return
+    store, rows = view
+    arrivals = store.gather("arrival_s", rows)
+    hits = store.gather("hit", rows)
+    k_steps = store.gather("k_steps", rows)
+    for i, record in enumerate(shared):
+        assert arrivals[i] == record.arrival_s
+        assert bool(hits[i]) == record.is_hit
+        assert int(k_steps[i]) == (
+            record.decision.k_steps if record.decision else 0
+        )

@@ -171,3 +171,60 @@ class TestSpecDigestDisambiguation:
         img_b = b.generate(prompts[0], seed="t").image
         assert img_a.image_id == img_b.image_id
         assert np.allclose(img_a.content, img_b.content)
+
+
+class TestImageIdLenCap:
+    """``image_id_len_cap`` — bounded image-id lineages (opt-in)."""
+
+    def test_default_unbounded_embeds_full_source_id(
+        self, space, small_model, large_model, prompts
+    ):
+        src = large_model.generate(prompts[0], seed="t").image
+        refined = small_model.refine(prompts[1], src, 30, seed="t").image
+        assert src.image_id in refined.image_id
+
+    def test_capped_chain_length_stays_bounded(self, space, prompts):
+        capped = DiffusionModelSim(
+            get_model("sdxl"), space, image_id_len_cap=64
+        )
+        plain = DiffusionModelSim(get_model("sdxl"), space)
+        capped_img = capped.generate(prompts[0], seed="t").image
+        plain_img = plain.generate(prompts[0], seed="t").image
+        capped_len = plain_len = 0
+        for _ in range(32):
+            capped_img = capped.refine(
+                prompts[0], capped_img, 10, seed="t"
+            ).image
+            plain_img = plain.refine(
+                prompts[0], plain_img, 10, seed="t"
+            ).image
+            capped_len = max(capped_len, len(capped_img.image_id))
+            plain_len = max(plain_len, len(plain_img.image_id))
+        # Unbounded, each refinement embeds the full source id (linear
+        # growth with chain depth); capped, an over-cap source component
+        # is replaced by its 17-char digest, so ids stay O(cap).
+        assert capped_len < 64 + 120
+        assert plain_len > 1_000
+
+    def test_capped_ids_stay_unique(self, space, prompts):
+        sim = DiffusionModelSim(
+            get_model("sdxl"), space, image_id_len_cap=1
+        )
+        image = sim.generate(prompts[0], seed="t").image
+        seen = {image.image_id}
+        for _ in range(16):
+            image = sim.refine(prompts[0], image, 10, seed="t").image
+            assert image.image_id not in seen
+            seen.add(image.image_id)
+
+    def test_cap_none_is_bit_identical_to_pre_cap_format(
+        self, space, prompts
+    ):
+        plain = DiffusionModelSim(get_model("sdxl"), space)
+        threaded = DiffusionModelSim(
+            get_model("sdxl"), space, image_id_len_cap=None
+        )
+        a = plain.generate(prompts[0], seed="t").image
+        b = threaded.generate(prompts[0], seed="t").image
+        assert a.image_id == b.image_id
+        assert np.allclose(a.content, b.content)
