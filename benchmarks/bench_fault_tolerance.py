@@ -1,0 +1,47 @@
+"""Fault tolerance — replica kill/restart with cold vs warm recovery.
+
+Deterministic and gating in CI at smoke scale: killing 1 of 4 replicas
+mid-trace must lose zero requests (orphans re-route across survivors),
+and a warm restart (cache restored from the replica's last periodic
+snapshot) must recover at least 90% of the pre-kill hit rate while a
+cold restart measurably does not.  The JSON twin of the result table is
+written unconditionally (``benchmarks/results/fault_tolerance.json`` +
+repo-root ``BENCH_fault_tolerance.json``) so the recovery numbers are
+recorded for every PR alongside ``BENCH_cluster_routing.json``.
+"""
+
+import _output
+from conftest import run_experiment
+from repro.experiments.figures import fault_tolerance
+
+
+def test_fault_tolerance(benchmark, ctx):
+    result = run_experiment(benchmark, fault_tolerance, ctx)
+    _output.write_json(
+        "fault_tolerance",
+        _output.result_payload(result),
+        also_root="BENCH_fault_tolerance.json",
+    )
+    rows = {r["mode"]: r for r in result.rows}
+    assert set(rows) == {"none", "cold", "warm"}
+
+    # Conservation: no mode ever loses a request — every arrival either
+    # completes or is shed, and killed replicas' orphans are re-routed.
+    for row in result.rows:
+        assert row["n_lost"] == 0
+    healthy = rows["none"]
+    assert healthy["n_rerouted"] == 0
+    for mode in ("cold", "warm"):
+        assert rows[mode]["completed"] == healthy["completed"]
+
+    # Journaling keeps the pre-kill simulation identical across modes,
+    # so cold and warm share the same hit rate at the moment of failure.
+    cold, warm = rows["cold"], rows["warm"]
+    assert cold["hit_rate_before"] == warm["hit_rate_before"]
+
+    # Acceptance: warm restore recovers >= 90% of the pre-kill hit rate;
+    # a cold restart is measurably worse in the same recovery window.
+    assert warm["hit_rate_after"] is not None
+    assert warm["hit_rate_after"] >= 0.9 * warm["hit_rate_before"]
+    cold_after = cold["hit_rate_after"]
+    assert cold_after is None or cold_after < warm["hit_rate_after"]

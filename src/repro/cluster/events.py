@@ -66,6 +66,42 @@ class EventLoop:
         """Number of events fired so far."""
         return self._processed
 
+    @property
+    def timeline_index(self) -> int:
+        """Cursor into the installed timeline (entries already fired)."""
+        return self._tl_idx
+
+    def heap_entries(self) -> List[Tuple[float, int, Callback]]:
+        """Pending heap events in firing order (snapshot support).
+
+        Only the *relative* sequence order is meaningful to a consumer —
+        re-scheduling the returned callbacks in this order through
+        :meth:`schedule` reproduces the firing order exactly.
+        """
+        return sorted(self._heap)
+
+    def restore_clock(self, now: float, timeline_index: int = 0) -> None:
+        """Reset the clock and timeline cursor on a *fresh* loop.
+
+        Snapshot restore installs the run's timeline first (while the
+        clock still reads 0, so past arrivals validate), then jumps the
+        clock and cursor to the capture instant; already-fired entries
+        are skipped, not re-fired.
+        """
+        if self._heap:
+            raise ValueError(
+                "restore_clock requires an empty heap; restore the "
+                "clock before re-scheduling events"
+            )
+        if self._tl_times is not None and not (
+            0 <= timeline_index <= len(self._tl_times)
+        ):
+            raise ValueError(
+                f"timeline index {timeline_index} out of range"
+            )
+        self._now = now
+        self._tl_idx = timeline_index
+
     def schedule(self, time: float, callback: Callback) -> None:
         """Schedule ``callback(now)`` to fire at ``time``.
 

@@ -112,6 +112,24 @@ class _ColumnRing:
             np.searchsorted(self.col("time"), cutoff, side="left")
         )
 
+    def snapshot_state(self) -> Dict[str, np.ndarray]:
+        """Copies of the live columns, oldest first (snapshot support)."""
+        return {name: self.col(name).copy() for name in self._names}
+
+    def restore_state(self, cols: Dict[str, np.ndarray]) -> None:
+        """Replace the buffer contents with a ``snapshot_state`` capture.
+
+        The live region restarts at offset zero; ``_grow`` tolerates the
+        exact-fit (even zero-length) arrays this installs.
+        """
+        n = 0
+        for name in self._names:
+            data = cols[name]
+            self._cols[name] = data.copy()
+            n = data.shape[0]
+        self._head = 0
+        self._tail = n
+
     def extend_merged(self, rings: Sequence["_ColumnRing"]) -> None:
         """Fill this (empty) buffer with a time-sorted merge of ``rings``."""
         if not rings:
@@ -247,6 +265,48 @@ class StatsCollector:
             for k, count in collector.k_histogram.items():
                 out.k_histogram[k] = out.k_histogram.get(k, 0) + count
         return out
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """Full collector state for :class:`repro.core.journal.Snapshot`.
+
+        Deliberately does *not* flush deferred trims: the capture must be
+        side-effect-free so a journaled run with snapshots stays
+        bit-identical to one without.
+        """
+        return {
+            "events": self._events.snapshot_state(),
+            "slo": self._slo_events.snapshot_state(),
+            "totals": (
+                self.total_arrivals,
+                self.total_hits,
+                self.total_misses,
+            ),
+            "k_histogram": dict(self.k_histogram),
+            "countdowns": (
+                self._trim_countdown,
+                self._slo_trim_countdown,
+            ),
+            "max_window_s": self._max_window_s,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Restore, in place, a ``snapshot_state`` capture."""
+        if state["max_window_s"] != self._max_window_s:
+            raise ValueError(
+                "max_window_s mismatch: snapshot "
+                f"{state['max_window_s']}, collector {self._max_window_s}"
+            )
+        self._events.restore_state(state["events"])
+        self._slo_events.restore_state(state["slo"])
+        (
+            self.total_arrivals,
+            self.total_hits,
+            self.total_misses,
+        ) = state["totals"]
+        self.k_histogram = dict(state["k_histogram"])
+        self._trim_countdown, self._slo_trim_countdown = state[
+            "countdowns"
+        ]
 
     def record_decision(self, now: float, hit: bool, k: int = 0) -> None:
         """Record one scheduling decision (cache hit with ``k``, or miss)."""

@@ -64,6 +64,27 @@ from repro._rng import rng_for
 RETRIEVAL_BACKENDS: Tuple[str, ...] = ("exact", "ivf")
 
 
+@dataclass
+class IVFState:
+    """Opaque snapshot of an :class:`IVFIndex` (see ``snapshot_state``).
+
+    Everything except the owning cache's matrix/live buffers, which the
+    cache snapshot carries; restoring re-binds the existing buffers.
+    """
+
+    centroids: Optional[np.ndarray]
+    lists: List[List[int]]
+    blocks: List[Optional[np.ndarray]]
+    valid: List[Optional[np.ndarray]]
+    stale: List[int]
+    cell_sums: Optional[np.ndarray]
+    cell_counts: Optional[np.ndarray]
+    assign: np.ndarray
+    row_of: np.ndarray
+    inserts_since_train: int
+    trainings: int
+
+
 @dataclass(frozen=True)
 class IVFParams:
     """Tunables of an :class:`IVFIndex` (zeros mean "auto").
@@ -431,6 +452,99 @@ class IVFIndex:
         exact = self._matrix[sel] @ query_unit
         order = np.lexsort((sel, -exact))[:k]
         return [(int(sel[i]), float(exact[i])) for i in order]
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore / clear
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> IVFState:
+        """Copy every mutable structure except the cache's buffers.
+
+        Side-effect-free: no memo builds, no compactions — capturing a
+        snapshot must not perturb the live run's future behaviour.
+        """
+        return IVFState(
+            centroids=(
+                None
+                if self._centroids is None
+                else self._centroids.copy()
+            ),
+            lists=[list(members) for members in self._lists],
+            blocks=[
+                None if block is None else block.copy()
+                for block in self._blocks
+            ],
+            valid=[
+                None if valid is None else valid.copy()
+                for valid in self._valid
+            ],
+            stale=list(self._stale),
+            cell_sums=(
+                None
+                if self._cell_sums is None
+                else self._cell_sums.copy()
+            ),
+            cell_counts=(
+                None
+                if self._cell_counts is None
+                else self._cell_counts.copy()
+            ),
+            assign=self._assign.copy(),
+            row_of=self._row_of.copy(),
+            inserts_since_train=self._inserts_since_train,
+            trainings=self.trainings,
+        )
+
+    def restore_state(self, state: IVFState) -> None:
+        """Adopt a snapshot; the matrix/live buffer bindings are kept
+        (the owning cache restores their contents)."""
+        self._centroids = (
+            None if state.centroids is None else state.centroids.copy()
+        )
+        self._lists = [list(members) for members in state.lists]
+        self._blocks = [
+            None if block is None else block.copy()
+            for block in state.blocks
+        ]
+        self._valid = [
+            None if valid is None else valid.copy()
+            for valid in state.valid
+        ]
+        self._stale = list(state.stale)
+        self._cell_sums = (
+            None if state.cell_sums is None else state.cell_sums.copy()
+        )
+        self._cell_counts = (
+            None
+            if state.cell_counts is None
+            else state.cell_counts.copy()
+        )
+        self._assign[:] = state.assign
+        self._row_of[:] = state.row_of
+        self._inserts_since_train = state.inserts_since_train
+        self.trainings = state.trainings
+        self._list_arrays = [None] * len(self._lists)
+        self._coarse_memo = None
+
+    def clear(self) -> None:
+        """Back to untrained, keeping the RNG stream position.
+
+        A cold restart drops all structure but must NOT rewind
+        ``trainings``: it indexes the k-means RNG stream, and replaying
+        a draw would correlate post-restart training with pre-kill
+        training in a way a real reboot never would.
+        """
+        self._centroids = None
+        self._lists = []
+        self._list_arrays = []
+        self._blocks = []
+        self._valid = []
+        self._stale = []
+        self._cell_sums = None
+        self._cell_counts = None
+        self._assign[:] = -1
+        self._row_of[:] = 0
+        self._coarse_memo = None
+        self._inserts_since_train = 0
 
     # ------------------------------------------------------------------
     # Introspection

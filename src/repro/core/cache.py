@@ -33,7 +33,6 @@ from __future__ import annotations
 
 import collections
 import heapq
-import itertools
 import math
 from dataclasses import dataclass
 from typing import (
@@ -50,7 +49,8 @@ from typing import (
 
 import numpy as np
 
-from repro.core.ann import IVFIndex, IVFParams, RETRIEVAL_BACKENDS
+from repro.core.ann import IVFIndex, IVFParams, IVFState, RETRIEVAL_BACKENDS
+from repro.core.journal import SnapCounter
 from repro.diffusion.latent import CachedLatent, SyntheticImage
 
 #: Measured retrieval latency: 0.05 s against 100k cached embeddings (§5.2),
@@ -105,6 +105,14 @@ class EvictionPolicy:
     ) -> int:
         """Slot to evict next; ``entries`` is the live slot table."""
         raise NotImplementedError
+
+    def state(self):
+        """Opaque bookkeeping snapshot (None for stateless policies)."""
+        return None
+
+    def restore_state(self, state) -> None:
+        """Adopt a bookkeeping snapshot produced by :meth:`state`."""
+        assert state is None
 
 
 #: Registry of eviction policies selectable by name (``config.cache_policy``).
@@ -165,6 +173,12 @@ class FifoEviction(EvictionPolicy):
             return slot
         raise RuntimeError("fifo policy asked for a victim on empty cache")
 
+    def state(self):
+        return list(self._queue)
+
+    def restore_state(self, state) -> None:
+        self._queue = collections.deque(state)
+
 
 @register_eviction_policy("lru")
 class LruEviction(EvictionPolicy):
@@ -195,6 +209,12 @@ class LruEviction(EvictionPolicy):
             if not _is_stale(entries, entry_id, slot):
                 return slot
         raise RuntimeError("lru policy asked for a victim on empty cache")
+
+    def state(self):
+        return list(self._order.items())
+
+    def restore_state(self, state) -> None:
+        self._order = collections.OrderedDict(state)
 
 
 @register_eviction_policy("utility")
@@ -243,6 +263,14 @@ class UtilityEviction(EvictionPolicy):
         raise RuntimeError(
             "utility policy asked for a victim on empty cache"
         )
+
+    def state(self):
+        return (list(self._heap), dict(self._current))
+
+    def restore_state(self, state) -> None:
+        heap, current = state
+        self._heap = list(heap)
+        self._current = dict(current)
 
 
 # ----------------------------------------------------------------------
@@ -304,7 +332,9 @@ class VectorCache(Generic[PayloadT]):
         )
         self._free_slots: List[int] = list(range(capacity - 1, -1, -1))
         self._slot_of: Dict[int, int] = {}  # entry_id -> slot
-        self._ids = _id_source if _id_source is not None else itertools.count()
+        # SnapCounter, not itertools.count: entry ids key staleness
+        # checks and must survive snapshot/restore exactly.
+        self._ids = _id_source if _id_source is not None else SnapCounter()
         self.last_inserted: Optional[CacheEntry[PayloadT]] = None
         self.insertions = 0
         self.evictions = 0
@@ -604,6 +634,190 @@ class VectorCache(Generic[PayloadT]):
                 f"got {query.shape}"
             )
 
+    # ------------------------------------------------------------------
+    # Snapshot / restore / clear (fault-tolerance surface)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "VectorCacheState":
+        """Copy of the full cache state, IVF index included.
+
+        Payloads and embeddings are shared by reference (immutable once
+        cached); the mutable per-entry stats (``hits``/``last_hit_at``)
+        are copied as scalars, so the snapshot is unaffected by later
+        hits against the live cache.  Side-effect-free.
+        """
+        if not isinstance(self._ids, SnapCounter):
+            raise TypeError(
+                "cache id source is not a SnapCounter; external "
+                "_id_source iterators are not snapshottable"
+            )
+        entries = [
+            (
+                slot,
+                e.entry_id,
+                e.payload,
+                e.embedding,
+                e.inserted_at,
+                e.hits,
+                e.last_hit_at,
+            )
+            for slot, e in enumerate(self._entries)
+            if e is not None
+        ]
+        return VectorCacheState(
+            capacity=self._capacity,
+            embed_dim=self._embed_dim,
+            policy_name=self._policy_name,
+            backend=self._backend,
+            entries=entries,
+            free_slots=list(self._free_slots),
+            embedding_sum=self._embedding_sum.copy(),
+            policy_state=self._policy.state(),
+            last_inserted_id=(
+                None
+                if self.last_inserted is None
+                else self.last_inserted.entry_id
+            ),
+            ids_value=self._ids.value,
+            insertions=self.insertions,
+            evictions=self.evictions,
+            lookups=self.lookups,
+            index_state=(
+                None
+                if self._index is None
+                else self._index.snapshot_state()
+            ),
+        )
+
+    def restore(self, state: "VectorCacheState") -> None:
+        """Adopt a snapshot in place.
+
+        In place matters: the IVF index holds references to this
+        cache's ``_matrix``/``_live`` buffers, so restore writes into
+        them instead of reallocating.
+        """
+        if not isinstance(self._ids, SnapCounter):
+            raise TypeError(
+                "cache id source is not a SnapCounter; external "
+                "_id_source iterators are not restorable"
+            )
+        if (
+            state.capacity != self._capacity
+            or state.embed_dim != self._embed_dim
+            or state.policy_name != self._policy_name
+            or state.backend != self._backend
+        ):
+            raise ValueError(
+                "cache snapshot shape mismatch: snapshot is "
+                f"(capacity={state.capacity}, dim={state.embed_dim}, "
+                f"policy={state.policy_name!r}, "
+                f"backend={state.backend!r}); cache is "
+                f"(capacity={self._capacity}, dim={self._embed_dim}, "
+                f"policy={self._policy_name!r}, "
+                f"backend={self._backend!r})"
+            )
+        self._entries = [None] * self._capacity
+        self._matrix[:] = 0.0
+        self._live[:] = False
+        self._slot_of = {}
+        by_id: Dict[int, CacheEntry[PayloadT]] = {}
+        for (
+            slot,
+            entry_id,
+            payload,
+            embedding,
+            inserted_at,
+            hits,
+            last_hit_at,
+        ) in state.entries:
+            entry = CacheEntry(
+                entry_id=entry_id,
+                payload=payload,
+                embedding=embedding,
+                inserted_at=inserted_at,
+                hits=hits,
+                last_hit_at=last_hit_at,
+            )
+            self._entries[slot] = entry
+            self._matrix[slot] = embedding
+            self._live[slot] = True
+            self._slot_of[entry_id] = slot
+            by_id[entry_id] = entry
+        self._free_slots = list(state.free_slots)
+        # The running sum is order-dependent float accumulation — it
+        # cannot be recomputed from the entries without drifting from
+        # the live cache by rounding, so the captured copy is adopted.
+        self._embedding_sum[:] = state.embedding_sum
+        self._policy = make_eviction_policy(self._policy_name)
+        self._policy.restore_state(state.policy_state)
+        self.last_inserted = (
+            None
+            if state.last_inserted_id is None
+            else by_id.get(state.last_inserted_id)
+        )
+        self._ids.value = state.ids_value
+        self.insertions = state.insertions
+        self.evictions = state.evictions
+        self.lookups = state.lookups
+        if self._index is not None:
+            if state.index_state is None:
+                raise ValueError(
+                    "snapshot has no IVF state but cache has an index"
+                )
+            self._index.restore_state(state.index_state)
+
+    def clear(self) -> None:
+        """Cold restart: drop every entry, keep counter positions.
+
+        The id counter is NOT rewound — stale ``(entry_id, slot)``
+        tombstones in eviction bookkeeping must never collide with ids
+        issued after the restart.  Cumulative traffic counters persist
+        (a reboot does not un-serve past lookups), and the IVF index
+        keeps its RNG stream position for the same reason.
+        """
+        self._entries = [None] * self._capacity
+        self._matrix[:] = 0.0
+        self._live[:] = False
+        self._embedding_sum[:] = 0.0
+        self._free_slots = list(range(self._capacity - 1, -1, -1))
+        self._slot_of = {}
+        self._policy = make_eviction_policy(self._policy_name)
+        self.last_inserted = None
+        if self._index is not None:
+            self._index.clear()
+
+
+@dataclass
+class VectorCacheState:
+    """Opaque snapshot of a :class:`VectorCache` (see ``snapshot``)."""
+
+    capacity: int
+    embed_dim: int
+    policy_name: str
+    backend: str
+    # (slot, entry_id, payload, embedding, inserted_at, hits,
+    #  last_hit_at) per live entry, ascending slot.
+    entries: List[tuple]
+    free_slots: List[int]
+    embedding_sum: np.ndarray
+    policy_state: object
+    last_inserted_id: Optional[int]
+    ids_value: int
+    insertions: int
+    evictions: int
+    lookups: int
+    index_state: Optional[IVFState]
+
+
+@dataclass
+class ShardedCacheState:
+    """Opaque snapshot of a :class:`ShardedVectorCache`."""
+
+    shard_states: List[VectorCacheState]
+    next_shard: int
+    shard_of: Dict[int, int]
+    lookups: int
+    ids_value: int
+
 
 # ----------------------------------------------------------------------
 # Sharded cache
@@ -640,7 +854,7 @@ class ShardedVectorCache(Generic[PayloadT]):
             raise ValueError("n_shards must not exceed capacity")
         self._policy_name = policy
         self._backend = backend
-        self._ids = itertools.count()
+        self._ids = SnapCounter()
         base, extra = divmod(capacity, n_shards)
         self._shards: List[VectorCache[PayloadT]] = [
             VectorCache(
@@ -827,6 +1041,43 @@ class ShardedVectorCache(Generic[PayloadT]):
             entry.last_hit_at = now
             return
         self._shards[shard_idx].record_hit(entry, now)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore / clear (fault-tolerance surface)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> ShardedCacheState:
+        """Per-shard snapshots plus the round-robin/routing state."""
+        return ShardedCacheState(
+            shard_states=[s.snapshot() for s in self._shards],
+            next_shard=self._next_shard,
+            shard_of=dict(self._shard_of),
+            lookups=self._lookups,
+            ids_value=self._ids.value,
+        )
+
+    def restore(self, state: ShardedCacheState) -> None:
+        """Adopt a snapshot in place (shard count must match)."""
+        if len(state.shard_states) != len(self._shards):
+            raise ValueError(
+                f"shard count mismatch: snapshot has "
+                f"{len(state.shard_states)}, cache has "
+                f"{len(self._shards)}"
+            )
+        for shard, shard_state in zip(self._shards, state.shard_states):
+            shard.restore(shard_state)
+        self._next_shard = state.next_shard
+        self._shard_of = dict(state.shard_of)
+        self._lookups = state.lookups
+        # Shards share this counter; the per-shard restores above wrote
+        # the same captured value, this pins it explicitly.
+        self._ids.value = state.ids_value
+
+    def clear(self) -> None:
+        """Cold restart across every shard (counters keep advancing)."""
+        for shard in self._shards:
+            shard.clear()
+        self._next_shard = 0
+        self._shard_of = {}
 
 
 class ImageCache(VectorCache[SyntheticImage]):

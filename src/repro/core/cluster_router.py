@@ -51,6 +51,13 @@ from repro.core.config import (
     MoDMConfig,
     ROUTING_POLICIES,
 )
+from repro.core.journal import (
+    KILL,
+    RESTART,
+    ROUTE,
+    TRANSFER,
+    EventJournal,
+)
 from repro.core.monitor import estimate_workloads
 from repro.core.pid import PIDController
 from repro.core.request import RequestRecord, RequestStore
@@ -504,6 +511,30 @@ class ReplicaAutoscaler:
 
 
 # ----------------------------------------------------------------------
+# Failure injection
+# ----------------------------------------------------------------------
+@dataclass
+class FailureRecord:
+    """One injected replica failure and its measured recovery.
+
+    ``hit_rate_before`` / ``hit_rate_after`` are the replica's cache hit
+    rate over the plan's ``recovery_window_s`` ending at the kill and at
+    ``restart + window`` respectively — the before/after pair the warm
+    vs. cold restart comparison reads.  ``recovery_latency_s`` is the
+    time from the kill to the restarted replica's first completion.
+    """
+
+    time_s: float
+    replica: int
+    n_rerouted: int = 0
+    hit_rate_before: float = 0.0
+    restart_time_s: Optional[float] = None
+    warm: bool = False
+    hit_rate_after: Optional[float] = None
+    recovery_latency_s: Optional[float] = None
+
+
+# ----------------------------------------------------------------------
 # Cluster report
 # ----------------------------------------------------------------------
 @dataclass
@@ -515,6 +546,9 @@ class ClusterReport:
     replicas: List[ServingReport]
     routed: List[int]
     transfers: List[TransferEvent] = field(default_factory=list)
+    failures: List[FailureRecord] = field(default_factory=list)
+    n_rerouted: int = 0
+    n_lost: int = 0
 
     @property
     def n_replicas(self) -> int:
@@ -623,6 +657,8 @@ class ClusterServingSystem:
         self.routed_counts: List[int] = [0] * len(self.replicas)
         self.transfers: List[TransferEvent] = []
         self._fleet_state: Optional[_FleetState] = None
+        self._failures: List[FailureRecord] = []
+        self.journal: Optional[EventJournal] = None
 
     def _make_autoscaler(self) -> None:
         """Fresh autoscaler state (PID, smoothed split) for a run."""
@@ -664,6 +700,12 @@ class ClusterServingSystem:
         self.records = []
         self.routed_counts = [0] * len(self.replicas)
         self.transfers = []
+        self._failures = []
+        self.journal = (
+            EventJournal()
+            if self.routing.failures is not None
+            else None
+        )
         self.router.reset()
         # Rebuild the autoscaler so a second run starts from the
         # configured split, not the previous run's PID state.
@@ -703,6 +745,22 @@ class ClusterServingSystem:
                 loop.schedule_timeline(arrivals[starts], fire_cohort)
         for replica in self.replicas:
             replica._on_run_start()
+        if self.routing.failures is not None:
+            for event in self.routing.failures.events:
+                if event.action == "kill":
+                    loop.schedule(
+                        event.time_s,
+                        lambda now, e=event: self._fail_kill(
+                            e.replica, now
+                        ),
+                    )
+                else:
+                    loop.schedule(
+                        event.time_s,
+                        lambda now, e=event: self._fail_restart(
+                            e, now
+                        ),
+                    )
         if self._autoscaler is not None:
             loop.schedule_in(
                 self.routing.autoscale_period_s, self._autoscale_tick
@@ -721,7 +779,29 @@ class ClusterServingSystem:
     def _arrive_batch(
         self, records: Sequence[RequestRecord], now: float
     ) -> None:
-        indices = self.router.route_batch(records, self.replicas)
+        replicas = self.replicas
+        alive = [
+            i for i, replica in enumerate(replicas) if not replica._dead
+        ]
+        if not alive:
+            raise RuntimeError(
+                "no live replicas to route to; the failure plan killed "
+                "the whole fleet"
+            )
+        if len(alive) == len(replicas):
+            indices = self.router.route_batch(records, replicas)
+        else:
+            # Route over the live sublist, then map back to fleet
+            # indices — policies see only live loads/centroids, and the
+            # lowest-index tie-break stays deterministic.
+            sub = self.router.route_batch(
+                records, [replicas[i] for i in alive]
+            )
+            indices = [alive[j] for j in sub]
+        if self.journal is not None and records:
+            self.journal.append(
+                now, ROUTE, a=records[0].request_id, b=len(records)
+            )
         groups: Dict[int, List[RequestRecord]] = {}
         for record, idx in zip(records, indices):
             record.replica_id = idx
@@ -734,6 +814,78 @@ class ClusterServingSystem:
             replica.records.extend(group)
             replica._handle_arrivals(group, now)
             replica._dispatch(now)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def _fail_kill(self, idx: int, now: float) -> None:
+        """Kill replica ``idx``: re-route its orphans as fresh arrivals.
+
+        Orphans keep their original ``arrival_s``, so their measured
+        latency spans the failure — re-routing hides no recovery cost.
+        """
+        replica = self.replicas[idx]
+        if replica._dead:
+            return
+        window = self.routing.failures.recovery_window_s
+        hit_before = replica.stats.window(now, window).hit_rate
+        orphans = replica._halt(now)
+        self._failures.append(
+            FailureRecord(
+                time_s=now,
+                replica=idx,
+                n_rerouted=len(orphans),
+                hit_rate_before=hit_before,
+            )
+        )
+        if self.journal is not None:
+            self.journal.append(now, KILL, a=idx, b=len(orphans))
+        if orphans:
+            self._arrive_batch(orphans, now)
+
+    def _fail_restart(self, event, now: float) -> None:
+        """Restart replica ``event.replica``, warm when a snapshot exists.
+
+        Warm restarts restore the last pre-kill cache snapshot (replicas
+        with ``MoDMConfig.journal`` set capture them periodically); with
+        no snapshot available the restart falls back to cold — an empty
+        cache that must re-learn its semantic neighborhood.
+        """
+        idx = event.replica
+        replica = self.replicas[idx]
+        if not replica._dead:
+            return
+        cache_state = None
+        if event.warm:
+            snaps = getattr(replica, "_cache_snapshots", None)
+            if snaps:
+                cache_state = snaps[-1][1]
+        replica._restart(now, cache_state)
+        record: Optional[FailureRecord] = None
+        for rec in reversed(self._failures):
+            if rec.replica == idx and rec.restart_time_s is None:
+                record = rec
+                break
+        if record is not None:
+            record.restart_time_s = now
+            record.warm = cache_state is not None
+        if self.journal is not None:
+            self.journal.append(
+                now,
+                RESTART,
+                a=idx,
+                b=1 if cache_state is not None else 0,
+            )
+        window = self.routing.failures.recovery_window_s
+
+        def probe(pnow: float) -> None:
+            if record is not None:
+                record.hit_rate_after = replica.stats.window(
+                    pnow, window
+                ).hit_rate
+
+        self.loop.schedule(now + window, probe)
+        replica._dispatch(now)
 
     # ------------------------------------------------------------------
     # Autoscaling
@@ -791,6 +943,14 @@ class ClusterServingSystem:
                             dst_replica=dst,
                         )
                     )
+                    if self.journal is not None:
+                        self.journal.append(
+                            now,
+                            TRANSFER,
+                            a=worker_id,
+                            b=dst,
+                            x=float(src),
+                        )
                 if movable:
                     touched.add(dst)
         for dst in sorted(touched):
@@ -855,12 +1015,38 @@ class ClusterServingSystem:
                 r.cache_storage_bytes for r in per_replica
             ),
         )
+        n_lost = 0
+        n_rerouted = 0
+        if self._failures:
+            shed = self.request_store.column("shed")
+            n_lost = (
+                len(self.records)
+                - int(np.count_nonzero(comp == comp))
+                - int(np.count_nonzero(shed))
+            )
+            n_rerouted = sum(rec.n_rerouted for rec in self._failures)
+            replica_col = self.request_store.column("replica_id")
+            for rec in self._failures:
+                if rec.restart_time_s is None:
+                    continue
+                mask = (
+                    (replica_col == rec.replica)
+                    & (comp == comp)
+                    & (comp >= rec.restart_time_s)
+                )
+                if mask.any():
+                    rec.recovery_latency_s = (
+                        float(comp[mask].min()) - rec.time_s
+                    )
         return ClusterReport(
             policy=self.routing.policy,
             fleet=fleet,
             replicas=per_replica,
             routed=list(self.routed_counts),
             transfers=list(self.transfers),
+            failures=list(self._failures),
+            n_rerouted=n_rerouted,
+            n_lost=n_lost,
         )
 
 

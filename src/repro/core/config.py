@@ -154,6 +154,79 @@ class SLOPolicy:
         return self.classes[-1]  # pragma: no cover - float edge
 
 
+@dataclass(frozen=True)
+class JournalConfig:
+    """Opt-in event journaling and periodic state snapshots.
+
+    Attaching one to :class:`MoDMConfig` makes the engine append a
+    compact columnar record of every arrival, decision, dispatch,
+    completion, and allocation to an :class:`~repro.core.journal.
+    EventJournal`, and — when ``snapshot_period_s > 0`` — capture a full
+    :class:`~repro.core.journal.Snapshot` every period so the run can be
+    restored and resumed bit-identically from any snapshot.  Journaling
+    never changes simulation behaviour: with it off (the default) every
+    code path is byte-identical to the journal-free engine, and with it
+    on the produced report is the same report.
+    """
+
+    snapshot_period_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.snapshot_period_s < 0:
+            raise ValueError(
+                "snapshot_period_s must be >= 0 (0 = journal only, "
+                "no periodic snapshots)"
+            )
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One deterministic failure-schedule entry.
+
+    ``action="kill"`` halts the replica at ``time_s`` — its in-flight
+    and queued requests are orphaned and re-routed across the
+    survivors.  ``action="restart"`` brings a dead replica back: cold
+    (empty cache) or, with ``warm=True``, warm-restored from the
+    replica's last periodic cache snapshot (falling back to cold when
+    none exists yet).
+    """
+
+    time_s: float
+    replica: int
+    action: str = "kill"
+    warm: bool = True
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError("time_s must be non-negative")
+        if self.replica < 0:
+            raise ValueError("replica must be non-negative")
+        if self.action not in ("kill", "restart"):
+            raise ValueError(
+                f"unknown failure action {self.action!r}; "
+                "choose 'kill' or 'restart'"
+            )
+
+
+@dataclass(frozen=True)
+class FailurePlan:
+    """Config-driven kill/restart schedule for the cluster layer.
+
+    Deterministic by construction: events fire at fixed simulation
+    times, so a failure run is as reproducible as a healthy one.
+    ``recovery_window_s`` sizes the hit-rate windows of the recovery
+    report (hit rate over the window before each kill, and over the
+    window after each restart).
+    """
+
+    events: Tuple[FailureEvent, ...] = ()
+    recovery_window_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.recovery_window_s <= 0:
+            raise ValueError("recovery_window_s must be positive")
+
+
 #: Routing policies the cluster router implements
 #: (``core/cluster_router.py`` keeps the matching registry).
 ROUTING_POLICIES: Tuple[str, ...] = (
@@ -203,10 +276,19 @@ class ClusterRoutingConfig:
     autoscale_ki: float = 0.0
     autoscale_kd: float = 0.1
     min_workers_per_replica: int = 1
+    failures: Optional[FailurePlan] = None
 
     def __post_init__(self) -> None:
         if self.n_replicas < 1:
             raise ValueError("n_replicas must be >= 1")
+        if self.failures is not None:
+            for event in self.failures.events:
+                if event.replica >= self.n_replicas:
+                    raise ValueError(
+                        f"failure event targets replica "
+                        f"{event.replica} but n_replicas is "
+                        f"{self.n_replicas}"
+                    )
         if self.policy not in ROUTING_POLICIES:
             raise ValueError(
                 f"unknown routing policy {self.policy!r}; "
@@ -299,6 +381,7 @@ class MoDMConfig:
     store_images: bool = True
     slo: Optional[SLOPolicy] = None
     image_id_len_cap: Optional[int] = None
+    journal: Optional[JournalConfig] = None
 
     def __post_init__(self) -> None:
         if not self.small_models:

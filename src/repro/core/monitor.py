@@ -234,6 +234,24 @@ class GlobalMonitor:
         self.current_num_large = float(self._n)
         self.current_small = self._smalls[0].name
 
+    def snapshot_state(self) -> tuple:
+        """Monitor + PID state for snapshot/restore."""
+        return (
+            self.current_num_large,
+            self.current_small,
+            self._n,
+            self._pid.snapshot_state(),
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        (
+            self.current_num_large,
+            self.current_small,
+            self._n,
+            pid_state,
+        ) = state
+        self._pid.restore_state(pid_state)
+
     def resize(self, n_workers: int) -> None:
         """Re-anchor the monitor to a changed worker-pool size.
 

@@ -51,6 +51,13 @@ class PIDController:
         self._integral = 0.0
         self._prev_error = None
 
+    def snapshot_state(self) -> tuple:
+        """Controller state for snapshot/restore."""
+        return (self._integral, self._prev_error)
+
+    def restore_state(self, state: tuple) -> None:
+        self._integral, self._prev_error = state
+
     @property
     def integral(self) -> float:
         return self._integral

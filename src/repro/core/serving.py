@@ -41,7 +41,19 @@ from repro.core.ann import IVFParams
 from repro.core.cache import make_image_cache
 from repro.core.config import (
     ClusterConfig,
+    JournalConfig,
     MoDMConfig,
+)
+from repro.core.journal import (
+    ALLOC,
+    ARRIVAL,
+    COMPLETE,
+    DECISION,
+    DISPATCH,
+    SHED,
+    SNAPSHOT,
+    EventJournal,
+    Snapshot,
 )
 from repro.core.kselection import (
     REFERENCE_TOTAL_STEPS,
@@ -379,6 +391,47 @@ class _ReadyQueue:
         for _, _, record in sorted(self._pending):
             yield record
 
+    def snapshot_state(self) -> Tuple[bool, List[int], List[Tuple[float, int]]]:
+        """Row-level queue state for :class:`repro.core.journal.Snapshot`.
+
+        Only *relative* sequence order matters for pop ties, so the
+        capture stores rows in pop order and restore re-inserts them with
+        fresh sequence numbers — identical pop behavior, no counter to
+        persist.
+        """
+        if self._edf:
+            ready_rows = [
+                e[3]._row
+                for e in sorted(self._ready, key=lambda e: e[:3])
+            ]
+        else:
+            ready_rows = [r._row for r in self._ready]
+        pending = [
+            (e[0], e[2]._row)
+            for e in sorted(self._pending, key=lambda e: e[:2])
+        ]
+        return (self._edf, ready_rows, pending)
+
+    def restore_state(self, state, store: RequestStore) -> None:
+        """Rebuild a freshly constructed queue from ``snapshot_state``."""
+        edf, ready_rows, pending = state
+        if edf != self._edf:
+            raise ValueError(
+                "queue mode mismatch: snapshot "
+                f"edf={edf}, queue edf={self._edf}"
+            )
+        for row in ready_rows:
+            self._add_ready(RequestRecord._view(store, row))
+        for enqueued, row in pending:
+            heapq.heappush(
+                self._pending,
+                (
+                    enqueued,
+                    next(self._seq),
+                    RequestRecord._view(store, row),
+                ),
+            )
+
 
 class BaseServingSystem:
     """Event-loop plumbing shared by every serving system."""
@@ -392,6 +445,7 @@ class BaseServingSystem:
         seed: str = "run0",
         store_images: bool = True,
         image_id_len_cap: Optional[int] = None,
+        journal: Optional[JournalConfig] = None,
     ):
         self._space = space
         self._cluster = cluster
@@ -399,6 +453,7 @@ class BaseServingSystem:
         self._seed = seed
         self._store_images = store_images
         self._image_id_len_cap = image_id_len_cap
+        self._journal_config = journal
         self._model_sims: Dict[str, DiffusionModelSim] = {}
         # Subclasses install a gate to opt into the SLO subsystem; None
         # keeps every code path identical to the policy-free engine.
@@ -450,6 +505,11 @@ class BaseServingSystem:
 
     def _on_run_start(self) -> None:
         """Hook fired once before the event loop runs (monitor ticks)."""
+        if (
+            self._journal is not None
+            and self._journal_config.snapshot_period_s > 0
+        ):
+            self._schedule_snapshot_tick()
 
     # ------------------------------------------------------------------
     # Shared machinery
@@ -495,6 +555,20 @@ class BaseServingSystem:
         # Dispatch wakeups already scheduled, by timestamp: n same-tick
         # records coalesce into one wakeup event instead of n.
         self._pending_wakeups: Set[float] = set()
+        # Opt-in fault-tolerance state.  With journaling off every field
+        # below is inert and no extra event ever enters the loop, so the
+        # simulation is bit-identical to the journal-free engine.
+        self._journal = (
+            EventJournal() if self._journal_config is not None else None
+        )
+        self.snapshots: List[Snapshot] = []
+        self._cache_snapshots: List[Tuple[float, object]] = []
+        # Tick-dedup markers: a periodic event is live only while its
+        # timestamp matches the marker; _halt invalidates both so ticks
+        # already in the heap become no-ops.
+        self._next_monitor_tick_s = -1.0
+        self._next_snapshot_tick_s = -1.0
+        self._dead = False
 
     def run(self, trace: Trace, until: Optional[float] = None) -> ServingReport:
         """Serve ``trace`` to completion (or until the time horizon)."""
@@ -514,6 +588,48 @@ class BaseServingSystem:
         makespan = self._makespan()
         energy = EnergyMeter().measure(self.workers, makespan)
         return self._build_report(trace, energy)
+
+    def resume(
+        self, trace: Trace, until: Optional[float] = None
+    ) -> ServingReport:
+        """Continue a restored run to completion (no state reset).
+
+        The counterpart to :meth:`repro.core.journal.Snapshot.restore`:
+        arrivals after the snapshot instant are already in the loop (the
+        timeline lane was re-installed with the clock), so finishing the
+        run is just draining the loop and assembling the report.
+        """
+        self.loop.run(until=until)
+        makespan = self._makespan()
+        energy = EnergyMeter().measure(self.workers, makespan)
+        return self._build_report(trace, energy)
+
+    def _schedule_snapshot_tick(self) -> None:
+        when = self.loop.now + self._journal_config.snapshot_period_s
+        self._next_snapshot_tick_s = when
+        self.loop.schedule(when, self._snapshot_tick)
+
+    def _snapshot_tick(self, now: float) -> None:
+        if now != self._next_snapshot_tick_s:
+            return  # superseded: the replica was halted since scheduling
+        if self._journal is None or self.all_done:
+            return
+        # Journal the marker and schedule the successor *before* the
+        # capture so the snapshot itself carries both — a restored run
+        # keeps snapshotting on the same cadence.
+        self._journal.append(
+            now, SNAPSHOT, a=self._n_completed, b=self._n_shed
+        )
+        self._schedule_snapshot_tick()
+        if self._fleet is not None:
+            # Under a cluster run replicas share the fleet's loop and
+            # store, so a full engine snapshot is ill-defined; warm
+            # restarts only need the semantic-cache state.
+            cache = getattr(self, "cache", None)
+            if cache is not None:
+                self._cache_snapshots.append((now, cache.snapshot()))
+        else:
+            self.snapshots.append(Snapshot.capture(self))
 
     def _makespan(self) -> float:
         """Last completion time over this run's records (loop.now if none).
@@ -575,7 +691,26 @@ class BaseServingSystem:
     def _arrive_batch(
         self, records: Sequence[RequestRecord], now: float
     ) -> None:
+        journal = self._journal
+        if journal is not None and records:
+            journal.append(
+                now, ARRIVAL, a=records[0].request_id, b=len(records)
+            )
         self._handle_arrivals(records, now)
+        if journal is not None:
+            for record in records:
+                if record.shed:
+                    journal.append(now, SHED, a=record.request_id)
+                    continue
+                decision = record.decision
+                if decision is not None:
+                    journal.append(
+                        now,
+                        DECISION,
+                        a=record.request_id,
+                        b=decision.k_steps if decision.hit else -1,
+                        x=decision.similarity,
+                    )
         self._dispatch(now)
 
     def _schedule_queue_dispatch(self, record: RequestRecord) -> None:
@@ -635,6 +770,14 @@ class BaseServingSystem:
         record.model_name = item.model.spec.name
         record.steps_run = item.steps
         self._in_service[record.request_id] = item
+        if self._journal is not None:
+            self._journal.append(
+                now,
+                DISPATCH,
+                a=record.request_id,
+                b=worker.worker_id,
+                x=float(item.steps),
+            )
         # Same-timestamp completions form one cohort event; workers are
         # completed in schedule order within the cohort, and each record
         # still dispatches individually (deferring dispatch to the end of
@@ -653,7 +796,10 @@ class BaseServingSystem:
 
     def _complete_cohort(self, now: float) -> None:
         """Complete every worker that finished at ``now``, in order."""
-        for worker in self._completion_buckets.pop(now):
+        bucket = self._completion_buckets.pop(now, None)
+        if bucket is None:
+            return  # stale: the owning replica was halted mid-flight
+        for worker in bucket:
             self._complete(worker, now)
 
     def _complete(self, worker: GPUWorker, now: float) -> None:
@@ -677,6 +823,10 @@ class BaseServingSystem:
         if self._store_images:
             record.image = result.image
         self._n_completed += 1
+        if self._journal is not None:
+            self._journal.append(
+                now, COMPLETE, a=record.request_id, b=worker.worker_id
+            )
         if self._slo_gate is not None:
             self._slo_gate.record_completion(record, now)
         self._on_complete_image(record, result.image, now)
@@ -793,6 +943,81 @@ class BaseServingSystem:
     def _on_worker_count_changed(self) -> None:
         """Hook fired after adopt/release (monitor resizing etc.)."""
 
+    # ------------------------------------------------------------------
+    # Failure injection (cluster layer)
+    # ------------------------------------------------------------------
+    def _halt(self, now: float) -> List[RequestRecord]:
+        """Kill this replica: abort in-flight work, drain its queues.
+
+        Returns every orphaned (admitted but unfinished) record with its
+        scheduling state reset, so the cluster layer can re-route the
+        batch as fresh arrivals; ``arrival_s`` is untouched, so measured
+        latency spans the failure.  Cumulative worker charges (busy
+        seconds, energy) stay where they were incurred — aborted work is
+        real work the fleet paid for.
+        """
+        orphans = [
+            self._in_service[rid].record
+            for rid in sorted(self._in_service)
+        ]
+        for worker in self.workers:
+            worker.current_job = None
+            worker.available_at = now
+        self._in_service = {}
+        self._completion_buckets = {}
+        self._pending_wakeups = set()
+        self._idle_workers = set(w.worker_id for w in self.workers)
+        orphans.extend(self._drain_queues())
+        self._next_monitor_tick_s = -1.0
+        self._next_snapshot_tick_s = -1.0
+        self._dead = True
+        self._n_expected -= len(orphans)
+        orphan_rows = {record._row for record in orphans}
+        self.records = [
+            r for r in self.records if r._row not in orphan_rows
+        ]
+        for record in orphans:
+            record.service_start_s = None
+            record.worker_id = None
+            record.model_name = None
+            record.steps_run = 0
+            record.enqueued_s = None
+            record.decision = None
+            record.degraded = False
+            record.degrade_k_steps = 0
+            record.degrade_source = None
+            record.replica_id = None
+        return orphans
+
+    def _drain_queues(self) -> List[RequestRecord]:
+        """Remove and return every queued record (subclasses override)."""
+        return []
+
+    def _restart(self, now: float, cache_state=None) -> None:
+        """Bring a halted replica back online at ``now``.
+
+        A reboot loses resident models — each worker pays its model load
+        on the first post-restart job, which is exactly the cold-start
+        cost the recovery-latency metric measures.  ``cache_state`` (a
+        snapshot taken before the kill) warm-restores the semantic
+        cache; None rejoins cold.
+        """
+        self._dead = False
+        for worker in self.workers:
+            worker.current_job = None
+            worker.model_name = None
+            worker.available_at = max(worker.available_at, now)
+        self._in_service = {}
+        self._completion_buckets = {}
+        self._pending_wakeups = set()
+        self._idle_workers = set(
+            w.worker_id for w in self.workers if w.is_idle(now)
+        )
+        self._on_restart(now, cache_state)
+
+    def _on_restart(self, now: float, cache_state) -> None:
+        """Policy-state rebuild hook after :meth:`_restart`."""
+
 
 def _pop_fifo(queue: Deque[RequestRecord]) -> Optional[RequestRecord]:
     return queue.popleft() if queue else None
@@ -835,6 +1060,7 @@ class MoDMSystem(BaseServingSystem):
             seed=config.seed,
             store_images=config.store_images,
             image_id_len_cap=config.image_id_len_cap,
+            journal=config.journal,
         )
         self.config = config
         self._large_spec = get_model(config.large_model)
@@ -943,15 +1169,20 @@ class MoDMSystem(BaseServingSystem):
             self.scheduler.bind_stats(self.stats)
 
     def _on_run_start(self) -> None:
+        super()._on_run_start()
         self._schedule_monitor_tick()
 
     def _schedule_monitor_tick(self) -> None:
-        self.loop.schedule_in(
-            self.monitor.config.period_s,
-            self._monitor_tick,
-        )
+        # Explicit ``now + period`` (not ``schedule_in``, which computes
+        # the same sum) so the marker and the scheduled time are the same
+        # float — the tick-dedup compare below is exact.
+        when = self.loop.now + self.monitor.config.period_s
+        self._next_monitor_tick_s = when
+        self.loop.schedule(when, self._monitor_tick)
 
     def _monitor_tick(self, now: float) -> None:
+        if now != self._next_monitor_tick_s:
+            return  # superseded: the replica was halted since scheduling
         if self.all_done:
             return
         window = self.stats.window(now, self.monitor.config.window_s)
@@ -986,6 +1217,10 @@ class MoDMSystem(BaseServingSystem):
         return 1.0 - record.decision.skip_fraction
 
     def _apply_allocation(self, allocation: Allocation, now: float) -> None:
+        if self._journal is not None:
+            self._journal.append(
+                now, ALLOC, a=allocation.n_large, b=allocation.n_small
+            )
         self.allocations.append(
             AllocationEvent(
                 time_s=now,
@@ -1159,6 +1394,37 @@ class MoDMSystem(BaseServingSystem):
             for worker in self.workers
             if worker.effective_model() == large
         )
+
+    def _drain_queues(self) -> List[RequestRecord]:
+        orphans = list(self._miss_queue)
+        orphans.extend(self._hit_queue)
+        edf = self._slo_edf
+        self._miss_queue = _ReadyQueue(edf=edf)
+        self._hit_queue = _ReadyQueue(edf=edf)
+        self._hit_backlog_frac = 0.0
+        return orphans
+
+    def _on_restart(self, now: float, cache_state) -> None:
+        edf = self._slo_edf
+        self._miss_queue = _ReadyQueue(edf=edf)
+        self._hit_queue = _ReadyQueue(edf=edf)
+        self._hit_backlog_frac = 0.0
+        self.monitor.reset()
+        self.monitor.resize(max(1, len(self.workers)))
+        large = self._large_spec.name
+        for worker in self.workers:
+            worker.target_model = large
+        self._n_large_workers = len(self.workers)
+        if cache_state is not None:
+            self.cache.restore(cache_state)
+        else:
+            self.cache.clear()
+        self._schedule_monitor_tick()
+        if (
+            self._journal is not None
+            and self._journal_config.snapshot_period_s > 0
+        ):
+            self._schedule_snapshot_tick()
 
     def _next_work(
         self, worker: GPUWorker, now: float

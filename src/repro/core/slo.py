@@ -97,6 +97,14 @@ class SloGate:
         """Point the gate at a fresh run's stats collector."""
         self._stats = stats
 
+    def config_fingerprint(self) -> str:
+        """Configuration digest for snapshot-compatibility checks.
+
+        The gate keeps no per-request state, so two gates with equal
+        fingerprints are interchangeable at restore time.
+        """
+        return f"{self._policy!r}/{self._solo_latency_s!r}"
+
     def assign(self, record: RequestRecord) -> SLOClass:
         """Stamp class, priority, and deadline onto an arriving record."""
         cls = self._policy.class_of(record.request_id)

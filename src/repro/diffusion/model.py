@@ -18,7 +18,6 @@ Implements the two generation paths MoDM's workers execute:
 
 from __future__ import annotations
 
-import itertools
 import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
@@ -26,6 +25,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro._rng import directions, normalize, seed_for
+from repro.core.journal import SnapCounter
 from repro.diffusion.latent import SyntheticImage
 from repro.diffusion.registry import ModelSpec
 from repro.diffusion.schedule import NoiseSchedule
@@ -106,7 +106,9 @@ class DiffusionModelSim:
         self._spec = spec
         self._space = space
         self._schedule = spec.schedule()
-        self._counter = itertools.count()
+        # SnapCounter, not itertools.count: image ids seed content noise
+        # draws, so a restored replica must continue the stream exactly.
+        self._counter = SnapCounter()
         self._id_len_cap = image_id_len_cap
         # Disambiguates image ids across differently-parametrized specs of
         # the same model (image ids key encoder caches, so two images with

@@ -71,6 +71,10 @@ EXPERIMENTS: Dict[str, tuple] = {
         figures.cluster_routing,
         "multi-replica routing policies: fleet hit rate & latency",
     ),
+    "fault_tolerance": (
+        figures.fault_tolerance,
+        "replica failure injection: cold vs warm snapshot recovery",
+    ),
     "fig14": (
         figures.fig14_tradeoff,
         "FID vs 1/throughput trade-off space (FLUX)",

@@ -34,6 +34,7 @@ from repro.core.config import (
     CacheAdmission,
     ClusterConfig,
     ClusterRoutingConfig,
+    JournalConfig,
     MoDMConfig,
     MonitorMode,
     SLOPolicy,
@@ -374,6 +375,7 @@ class ExperimentContext:
         cache_capacity: Optional[int] = None,
         mode: MonitorMode = MonitorMode.THROUGHPUT,
         slo: Optional[SLOPolicy] = None,
+        journal: Optional[JournalConfig] = None,
     ) -> ClusterServingSystem:
         """MoDM fleet: total workers/cache split across ``routing``'s
         replicas, so replica-count sweeps hold resources constant."""
@@ -384,6 +386,7 @@ class ExperimentContext:
             cache_capacity=cache_capacity or self.scale.cache_capacity,
             monitor_mode=mode,
             slo=slo,
+            journal=journal,
         )
         return modm_cluster(self.space, config, routing)
 

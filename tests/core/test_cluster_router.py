@@ -333,3 +333,168 @@ class TestWorkerTransferMechanics:
         assert recipient.monitor.n_workers == 5
         with pytest.raises(ValueError, match="already present"):
             recipient.adopt_worker(moved, now=0.0)
+
+
+# ----------------------------------------------------------------------
+# Failure injection (deterministic kill/restart)
+# ----------------------------------------------------------------------
+class TestFailureInjection:
+    @staticmethod
+    def _run_with_failures(space, trace, events, journal=None):
+        from repro.core.config import FailurePlan, JournalConfig
+
+        if journal is None:
+            journal = JournalConfig(snapshot_period_s=30.0)
+        config = MoDMConfig(
+            cluster=ClusterConfig(gpu_name="MI210", n_workers=4),
+            cache_capacity=200,
+            small_models=("sdxl",),
+            journal=journal,
+        )
+        system = modm_cluster(
+            space,
+            config,
+            ClusterRoutingConfig(
+                n_replicas=2,
+                policy="cache_affinity",
+                failures=FailurePlan(
+                    events=events, recovery_window_s=60.0
+                ),
+            ),
+        )
+        report = system.run(trace)
+        return system, report
+
+    def test_kill_and_restart_conserves_requests(
+        self, space, cluster_trace
+    ):
+        from repro.core.config import FailureEvent
+
+        span = cluster_trace.requests[-1].arrival_s
+        kill_t, restart_t = 0.4 * span, 0.7 * span
+        system, report = self._run_with_failures(
+            space,
+            cluster_trace,
+            (
+                FailureEvent(time_s=kill_t, replica=1, action="kill"),
+                FailureEvent(
+                    time_s=restart_t, replica=1, action="restart"
+                ),
+            ),
+        )
+        assert report.n_lost == 0
+        # Terminal exactly once: the completion counter agrees with the
+        # number of rows carrying a completion time, and nothing is both
+        # shed and completed.
+        comp = system.request_store.column("completion_s")
+        shed = system.request_store.column("shed")
+        completed_rows = int(np.count_nonzero(comp == comp))
+        assert report.fleet.n_completed == completed_rows
+        assert not np.any(shed & (comp == comp))
+        assert completed_rows + int(np.count_nonzero(shed)) == len(
+            cluster_trace
+        )
+        # The failure record tells the whole story.
+        assert len(report.failures) == 1
+        record = report.failures[0]
+        assert record.replica == 1
+        assert record.time_s == kill_t
+        assert record.restart_time_s == restart_t
+        assert report.n_rerouted == record.n_rerouted
+        assert not system.replicas[1]._dead
+
+    def test_kill_without_restart_stays_dead(
+        self, space, cluster_trace
+    ):
+        from repro.core.config import FailureEvent
+
+        span = cluster_trace.requests[-1].arrival_s
+        kill_t = 0.4 * span
+        system, report = self._run_with_failures(
+            space,
+            cluster_trace,
+            (FailureEvent(time_s=kill_t, replica=0, action="kill"),),
+        )
+        assert system.replicas[0]._dead
+        assert report.n_lost == 0
+        assert report.failures[0].restart_time_s is None
+        # Nothing completes on a dead replica after the kill.
+        comp = system.request_store.column("completion_s")
+        replica_col = system.request_store.column("replica_id")
+        on_dead = (replica_col == 0) & (comp == comp)
+        assert not np.any(comp[on_dead] > kill_t)
+
+    def test_warm_restore_beats_cold_rejoin(self, space, cluster_trace):
+        from repro.core.config import FailureEvent
+
+        span = cluster_trace.requests[-1].arrival_s
+        kill_t, restart_t = 0.4 * span, 0.55 * span
+
+        def events(warm):
+            return (
+                FailureEvent(time_s=kill_t, replica=1, action="kill"),
+                FailureEvent(
+                    time_s=restart_t,
+                    replica=1,
+                    action="restart",
+                    warm=warm,
+                ),
+            )
+
+        _, warm_report = self._run_with_failures(
+            space, cluster_trace, events(True)
+        )
+        cold_system, cold_report = self._run_with_failures(
+            space, cluster_trace, events(False)
+        )
+        warm_rec = warm_report.failures[0]
+        cold_rec = cold_report.failures[0]
+        # Identical until the restart fires...
+        assert warm_rec.hit_rate_before == cold_rec.hit_rate_before
+        assert warm_rec.n_rerouted == cold_rec.n_rerouted
+        # ...then the warm replica resumes with its snapshot cache while
+        # the cold one rejoins empty, so the warm fleet never loses to
+        # the cold one on hit rate.
+        assert warm_rec.warm and not cold_rec.warm
+        assert warm_report.fleet.hit_rate >= cold_report.fleet.hit_rate
+
+    def test_failures_are_journaled(self, space, cluster_trace):
+        from repro.core.config import FailureEvent
+
+        span = cluster_trace.requests[-1].arrival_s
+        system, _ = self._run_with_failures(
+            space,
+            cluster_trace,
+            (
+                FailureEvent(
+                    time_s=0.4 * span, replica=1, action="kill"
+                ),
+                FailureEvent(
+                    time_s=0.7 * span, replica=1, action="restart"
+                ),
+            ),
+        )
+        assert system.journal is not None
+        kinds = system.journal.kind_counts()
+        assert kinds["kill"] == 1
+        assert kinds["restart"] == 1
+        assert kinds["route"] > 0
+
+    def test_double_kill_is_a_noop(self, space, cluster_trace):
+        from repro.core.config import FailureEvent
+
+        span = cluster_trace.requests[-1].arrival_s
+        _, report = self._run_with_failures(
+            space,
+            cluster_trace,
+            (
+                FailureEvent(
+                    time_s=0.4 * span, replica=1, action="kill"
+                ),
+                FailureEvent(
+                    time_s=0.45 * span, replica=1, action="kill"
+                ),
+            ),
+        )
+        assert len(report.failures) == 1
+        assert report.n_lost == 0

@@ -11,7 +11,7 @@ class TestRegistry:
             "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
             "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
             "fig16", "fig17", "fig18", "fig19", "table2", "table3", "a6",
-            "slo_admission", "cluster_routing",
+            "slo_admission", "cluster_routing", "fault_tolerance",
         }
         assert set(EXPERIMENTS) == expected
 

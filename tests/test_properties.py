@@ -258,3 +258,153 @@ class TestMetricProperties:
         mu2 = other.mean(axis=0)
         sigma2 = np.cov(other, rowvar=False) + 1e-6 * np.eye(dim)
         assert frechet_distance(mu, sigma, mu2, sigma2) > -1e-9
+
+
+# ----------------------------------------------------------------------
+# Replay / fault-tolerance properties
+# ----------------------------------------------------------------------
+from functools import lru_cache
+
+from repro.core.config import (
+    ClusterConfig,
+    ClusterRoutingConfig,
+    FailureEvent,
+    FailurePlan,
+    JournalConfig,
+    MoDMConfig,
+)
+from repro.core.cluster_router import modm_cluster
+from repro.core.serving import MoDMSystem
+from repro.embedding.space import SemanticSpace
+from repro.workloads import DiffusionDBConfig, diffusiondb_trace
+
+_FAST_FT = settings(
+    max_examples=10,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+)
+
+
+def _journal_config():
+    return MoDMConfig(
+        cluster=ClusterConfig(gpu_name="MI210", n_workers=4),
+        cache_capacity=150,
+        small_models=("sdxl",),
+        seed="prop-replay",
+        journal=JournalConfig(snapshot_period_s=40.0),
+    )
+
+
+def _replay_payload(report):
+    times = np.sort(report.completion_times())
+    return (
+        report.n_completed,
+        report.hit_rate,
+        times.tobytes(),
+        tuple(
+            (r.request_id, r.decision.hit, r.decision.k_steps)
+            for r in report.records
+            if r.decision is not None
+        ),
+    )
+
+
+@lru_cache(maxsize=1)
+def _replay_fixture():
+    """One journaled straight run shared across hypothesis examples."""
+    space = SemanticSpace()
+    trace = diffusiondb_trace(
+        space,
+        DiffusionDBConfig(
+            n_requests=80,
+            request_rate_per_min=40.0,
+            seed="prop-replay",
+        ),
+    )
+    straight = MoDMSystem(space, _journal_config())
+    payload = _replay_payload(straight.run(trace))
+    assert straight.snapshots, "trace too short for snapshot period"
+    return space, trace, tuple(straight.snapshots), payload
+
+
+@lru_cache(maxsize=1)
+def _failure_fixture():
+    space = SemanticSpace()
+    trace = diffusiondb_trace(
+        space,
+        DiffusionDBConfig(
+            n_requests=60,
+            request_rate_per_min=40.0,
+            seed="prop-failure",
+        ),
+    )
+    return space, trace
+
+
+class TestReplayProperties:
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    @_FAST_FT
+    def test_any_snapshot_resumes_bit_identically(self, fraction):
+        """Restoring the run at an arbitrary snapshot and resuming is
+        indistinguishable from never having stopped."""
+        space, trace, snapshots, straight_payload = _replay_fixture()
+        snapshot = snapshots[int(fraction * (len(snapshots) - 1))]
+        resumed = MoDMSystem(space, _journal_config())
+        snapshot.restore(resumed)
+        assert (
+            _replay_payload(resumed.resume(trace)) == straight_payload
+        )
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.85, allow_nan=False),
+        st.floats(min_value=0.05, max_value=0.5, allow_nan=False),
+        st.booleans(),
+    )
+    @_FAST_FT
+    def test_kill_restart_never_loses_or_double_counts(
+        self, kill_frac, delay_frac, warm
+    ):
+        """Whenever a replica dies (and possibly rejoins), every request
+        still reaches exactly one terminal state."""
+        space, trace = _failure_fixture()
+        span = trace.requests[-1].arrival_s
+        kill_t = max(1.0, kill_frac * span)
+        restart_t = kill_t + max(1.0, delay_frac * span)
+        config = MoDMConfig(
+            cluster=ClusterConfig(gpu_name="MI210", n_workers=4),
+            cache_capacity=150,
+            small_models=("sdxl",),
+            journal=JournalConfig(snapshot_period_s=30.0),
+        )
+        system = modm_cluster(
+            space,
+            config,
+            ClusterRoutingConfig(
+                n_replicas=2,
+                policy="cache_affinity",
+                failures=FailurePlan(
+                    events=(
+                        FailureEvent(
+                            time_s=kill_t, replica=1, action="kill"
+                        ),
+                        FailureEvent(
+                            time_s=restart_t,
+                            replica=1,
+                            action="restart",
+                            warm=warm,
+                        ),
+                    ),
+                    recovery_window_s=60.0,
+                ),
+            ),
+        )
+        report = system.run(trace)
+        comp = system.request_store.column("completion_s")
+        shed = system.request_store.column("shed")
+        completed_rows = int(np.count_nonzero(comp == comp))
+        assert report.n_lost == 0
+        assert report.fleet.n_completed == completed_rows
+        assert not np.any(shed & (comp == comp))
+        assert completed_rows + int(np.count_nonzero(shed)) == len(
+            trace
+        )
