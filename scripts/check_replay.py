@@ -9,7 +9,10 @@ decisions, same journal digest.  This is the property warm replica
 recovery rests on, so CI gates on it.
 
 No golden file: both runs are generated here, so the gate cannot go
-stale — it fails only when snapshot/restore loses state.
+stale — it fails only when snapshot/restore loses state.  Reporting and
+payload digests go through ``repro.analysis._cli`` so this gate, the
+seed-golden gate, and the invariant analyzer all fail in the same
+format.
 
 Usage (repo root)::
 
@@ -22,15 +25,22 @@ byte for byte, 1 otherwise (with a unified diff of the two payloads).
 from __future__ import annotations
 
 import argparse
-import difflib
-import hashlib
-import json
 import sys
 
+from repro.analysis._cli import (
+    completion_digest,
+    decision_digest,
+    gate_fail,
+    gate_ok,
+    render_payload,
+    write_text,
+)
 from repro.core.config import ClusterConfig, JournalConfig, MoDMConfig
 from repro.core.serving import MoDMSystem
 from repro.embedding.space import SemanticSpace
 from repro.workloads import DiffusionDBConfig, diffusiondb_trace
+
+GATE = "replay"
 
 
 def _config() -> MoDMConfig:
@@ -50,31 +60,13 @@ def _payload(report, system) -> dict:
     captures snapshots after its restore point, so the lists differ in
     length while the simulation is identical.
     """
-    times = sorted(report.completion_times())
-    times_sha = hashlib.sha256(
-        json.dumps([round(float(t), 6) for t in times]).encode()
-    ).hexdigest()
-    decisions = [
-        (
-            r.request_id,
-            r.decision.hit,
-            r.decision.k_steps,
-            round(r.decision.similarity, 9),
-        )
-        for r in report.records
-        if r.decision is not None
-    ]
-    decision_sha = hashlib.sha256(
-        json.dumps(decisions).encode()
-    ).hexdigest()
+    times_sum, times_sha = completion_digest(report)
     return {
         "hit_rate": report.hit_rate,
         "n_completed": report.n_completed,
-        "completion_times_sum": float(
-            report.completion_times().sum()
-        ),
+        "completion_times_sum": times_sum,
         "completion_times_sha": times_sha,
-        "decision_sha": decision_sha,
+        "decision_sha": decision_digest(report.records),
         "journal_digest": system._journal.digest(),
         "journal_events": len(system._journal),
         "cache_size": report.cache_size,
@@ -110,10 +102,6 @@ def run_gate() -> tuple:
     return straight_payload, resumed_payload, snapshot.time_s
 
 
-def render(payload: dict) -> str:
-    return json.dumps(payload, indent=2)
-
-
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -124,33 +112,29 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     straight, resumed, snap_time = run_gate()
-    straight_text = render(straight)
-    resumed_text = render(resumed)
+    straight_text = render_payload(straight)
+    resumed_text = render_payload(resumed)
     if args.out:
-        with open(args.out, "w") as handle:
-            handle.write(straight_text)
+        write_text(args.out, straight_text)
     if straight_text == resumed_text:
-        print(
-            "replay OK: run restored from the t="
-            f"{snap_time:.1f}s snapshot resumed bit-identically "
-            f"(journal digest {straight['journal_digest'][:16]}...)"
+        return gate_ok(
+            GATE,
+            f"run restored from the t={snap_time:.1f}s snapshot "
+            "resumed bit-identically (journal digest "
+            f"{straight['journal_digest'][:16]}...)",
         )
-        return 0
-    sys.stdout.writelines(
-        difflib.unified_diff(
-            straight_text.splitlines(keepends=True),
-            resumed_text.splitlines(keepends=True),
-            fromfile="uninterrupted run",
-            tofile=f"restored from t={snap_time:.1f}s snapshot",
-        )
+    return gate_fail(
+        GATE,
+        "restoring a snapshot and resuming did not reproduce the "
+        "uninterrupted run.  Snapshot/restore is losing state "
+        "somewhere (see the diff above).",
+        diff=(
+            straight_text,
+            resumed_text,
+            "uninterrupted run",
+            f"restored from t={snap_time:.1f}s snapshot",
+        ),
     )
-    print(
-        "\nreplay DIVERGED: restoring a snapshot and resuming did not "
-        "reproduce the uninterrupted run.  Snapshot/restore is losing "
-        "state somewhere (see the diff above).",
-        file=sys.stderr,
-    )
-    return 1
 
 
 if __name__ == "__main__":

@@ -4,6 +4,9 @@
 The tier-1 CI job runs this after the test suite and uploads both files
 as artifacts, so a golden divergence fails with a *readable* unified
 diff of the two JSON payloads instead of a bare hash-mismatch assert.
+Reporting and payload digests go through ``repro.analysis._cli`` so
+this gate, the replay gate, and the invariant analyzer all fail in the
+same format.
 
 Usage (repo root)::
 
@@ -18,16 +21,23 @@ Exit status: 0 when the freshly generated payload matches
 from __future__ import annotations
 
 import argparse
-import difflib
-import hashlib
-import json
 import os
 import sys
 
+from repro.analysis._cli import (
+    completion_digest,
+    decision_digest,
+    gate_fail,
+    gate_ok,
+    render_payload,
+    write_text,
+)
 from repro.core.config import ClusterConfig, MoDMConfig
 from repro.core.serving import MoDMSystem
 from repro.embedding.space import SemanticSpace
 from repro.workloads import DiffusionDBConfig, diffusiondb_trace
+
+GATE = "seed-golden"
 
 REPO_ROOT = os.path.dirname(
     os.path.dirname(os.path.abspath(__file__))
@@ -55,39 +65,17 @@ def build_payload() -> dict:
     system.warm_cache([r.prompt for r in trace.requests[:60]])
     report = system.run(trace.slice(60, 300).rebase())
 
-    times = sorted(report.completion_times())
-    times_sha = hashlib.sha256(
-        json.dumps([round(float(t), 6) for t in times]).encode()
-    ).hexdigest()
-    decisions = [
-        (
-            r.request_id,
-            r.decision.hit,
-            r.decision.k_steps,
-            round(r.decision.similarity, 9),
-        )
-        for r in report.records
-    ]
-    decision_sha = hashlib.sha256(
-        json.dumps(decisions).encode()
-    ).hexdigest()
+    times_sum, times_sha = completion_digest(report)
     return {
         "hit_rate": report.hit_rate,
         "k_rates": {
             str(k): v for k, v in report.k_rates().items()
         },
-        "completion_times_sum": float(
-            report.completion_times().sum()
-        ),
+        "completion_times_sum": times_sum,
         "completion_times_sha": times_sha,
-        "decision_sha": decision_sha,
+        "decision_sha": decision_digest(report.records),
         "n_completed": report.n_completed,
     }
-
-
-def render(payload: dict) -> str:
-    # No trailing newline: byte-for-byte the pinned file's format.
-    return json.dumps(payload, indent=2)
 
 
 def main(argv=None) -> int:
@@ -109,36 +97,31 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    fresh = render(build_payload())
+    fresh = render_payload(build_payload())
     if args.out:
-        with open(args.out, "w") as handle:
-            handle.write(fresh)
+        write_text(args.out, fresh)
     if args.update:
-        with open(args.golden, "w") as handle:
-            handle.write(fresh)
-        print(f"re-captured {args.golden}")
-        return 0
+        write_text(args.golden, fresh)
+        return gate_ok(GATE, f"re-captured {args.golden}")
 
     with open(args.golden) as handle:
         pinned = handle.read()
     if fresh == pinned:
-        print(f"seed golden OK: fresh payload matches {args.golden}")
-        return 0
-    sys.stdout.writelines(
-        difflib.unified_diff(
-            pinned.splitlines(keepends=True),
-            fresh.splitlines(keepends=True),
-            fromfile="tests/data/seed_golden.json (pinned)",
-            tofile="freshly generated seed trace",
+        return gate_ok(
+            GATE, f"fresh payload matches {args.golden}"
         )
+    return gate_fail(
+        GATE,
+        "serving behavior changed on the seed trace (diff above). "
+        "If intentional, re-capture with --update and document why "
+        "in the PR.",
+        diff=(
+            pinned,
+            fresh,
+            "tests/data/seed_golden.json (pinned)",
+            "freshly generated seed trace",
+        ),
     )
-    print(
-        "\nseed golden DIVERGED: serving behavior changed on the seed "
-        "trace.\nIf intentional, re-capture with --update and document "
-        "why in the PR.",
-        file=sys.stderr,
-    )
-    return 1
 
 
 if __name__ == "__main__":

@@ -1,0 +1,35 @@
+"""Invariant analyzer: AST-level determinism and coverage proofs.
+
+A self-contained, stdlib-``ast`` static analyzer gating the properties
+the test suite can only sample: no hidden nondeterminism in the engine
+packages, full snapshot/restore attribute coverage, and config fields
+that actually thread somewhere.  Run it with
+``PYTHONPATH=src python -m repro.analysis``; see DESIGN.md
+("Invariant analyzer") for the rule catalog and pragma grammar.
+"""
+
+from repro.analysis.framework import (
+    DETERMINISM_SCOPE,
+    AnalysisResult,
+    Finding,
+    ParsedModule,
+    RULE_REGISTRY,
+    Rule,
+    load_baseline,
+    make_rules,
+    register_rule,
+    run_analysis,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "DETERMINISM_SCOPE",
+    "Finding",
+    "ParsedModule",
+    "RULE_REGISTRY",
+    "Rule",
+    "load_baseline",
+    "make_rules",
+    "register_rule",
+    "run_analysis",
+]

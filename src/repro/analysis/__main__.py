@@ -1,0 +1,104 @@
+"""Invariant analyzer CLI.
+
+Usage (repo root)::
+
+    PYTHONPATH=src python -m repro.analysis \
+        [paths...] [--format text|github] [--baseline FILE] \
+        [--rule NAME ...] [--list-rules]
+
+With no paths, analyzes ``src/repro``.  Exit status 0 when every
+finding is pragma-suppressed or baselined and the baseline carries no
+stale entries; 1 otherwise.  ``--format github`` emits workflow
+annotations that surface inline on the PR diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis._cli import emit_findings, gate_fail, gate_ok
+from repro.analysis.framework import make_rules, run_analysis
+
+GATE = "analysis"
+
+
+def main(argv=None) -> int:
+    """Run the analyzer CLI; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis", description=__doc__
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to analyze (default: <root>/src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "github"),
+        default="text",
+        help="finding output format (github = workflow annotations)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "grandfathered-findings JSON "
+            "(default: <root>/analysis_baseline.json)"
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repo root anchoring relative paths (default: cwd)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="NAME",
+        help="run only this rule (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in make_rules():
+            scope = (
+                "src/repro/{" + ",".join(rule.scope) + "}"
+                if rule.scope
+                else "src/repro"
+            )
+            print(f"{rule.name:20s} [{scope}] {rule.description}")
+        return 0
+
+    root = Path(args.root).resolve()
+    paths = [Path(p).resolve() for p in args.paths] or None
+    baseline = Path(
+        args.baseline
+        if args.baseline is not None
+        else root / "analysis_baseline.json"
+    )
+    result = run_analysis(
+        root, paths=paths, baseline=baseline, rules=args.rules
+    )
+    emit_findings(result, fmt=args.format)
+    detail = (
+        f"{result.n_modules} modules, "
+        f"{len(result.findings)} findings, "
+        f"{len(result.suppressed)} pragma-suppressed, "
+        f"{len(result.baselined)} baselined, "
+        f"{len(result.stale_baseline)} stale baseline entries"
+    )
+    if result.ok and not result.stale_baseline:
+        return gate_ok(GATE, detail)
+    return gate_fail(GATE, detail)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""Shared gate-reporting helpers.
+
+Three CI gates report through here — the invariant analyzer
+(``python -m repro.analysis``), the seed-golden diff
+(``scripts/check_seed_golden.py``), and the replay-determinism gate
+(``scripts/check_replay.py``) — so a failure always reads the same way:
+
+    [<gate>] OK: <one-line summary>
+    [<gate>] FAILED: <what diverged>   (+ a unified diff when there is one)
+
+The payload-digest helpers live here too, because the golden and replay
+gates must hash completion times and decisions identically or their
+payloads drift apart for non-reasons.
+"""
+
+from __future__ import annotations
+
+import difflib
+import hashlib
+import json
+import sys
+from typing import IO, Optional, Tuple
+
+from repro.analysis.framework import AnalysisResult
+
+
+def render_payload(payload: dict) -> str:
+    """Canonical gate-payload serialization (no trailing newline:
+    byte-for-byte the pinned golden file's format)."""
+    return json.dumps(payload, indent=2)
+
+
+def write_text(path: str, text: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(text)
+
+
+def completion_digest(report) -> Tuple[float, str]:
+    """(sum, sha256) of the report's completion times, rounded the way
+    every gate payload pins them."""
+    times = sorted(report.completion_times())
+    sha = hashlib.sha256(
+        json.dumps([round(float(t), 6) for t in times]).encode()
+    ).hexdigest()
+    return float(report.completion_times().sum()), sha
+
+
+def decision_digest(records) -> str:
+    """sha256 over (request_id, hit, k_steps, similarity) rows; records
+    without a decision (shed before admission) are skipped."""
+    decisions = [
+        (
+            r.request_id,
+            r.decision.hit,
+            r.decision.k_steps,
+            round(r.decision.similarity, 9),
+        )
+        for r in records
+        if r.decision is not None
+    ]
+    return hashlib.sha256(json.dumps(decisions).encode()).hexdigest()
+
+
+def gate_ok(gate: str, detail: str, stream: Optional[IO] = None) -> int:
+    print(f"[{gate}] OK: {detail}", file=stream or sys.stdout)
+    return 0
+
+
+def gate_fail(
+    gate: str,
+    detail: str,
+    diff: Optional[Tuple[str, str, str, str]] = None,
+    stream: Optional[IO] = None,
+) -> int:
+    """Report a gate failure; ``diff`` is (old_text, new_text,
+    fromfile, tofile) for an optional unified diff above the verdict."""
+    out = stream or sys.stdout
+    if diff is not None:
+        old, new, fromfile, tofile = diff
+        out.writelines(
+            difflib.unified_diff(
+                old.splitlines(keepends=True),
+                new.splitlines(keepends=True),
+                fromfile=fromfile,
+                tofile=tofile,
+            )
+        )
+        out.write("\n")
+    print(f"[{gate}] FAILED: {detail}", file=sys.stderr)
+    return 1
+
+
+def emit_findings(
+    result: AnalysisResult,
+    fmt: str = "text",
+    stream: Optional[IO] = None,
+) -> None:
+    """Print analyzer findings in ``text`` or ``github`` annotation
+    format (the latter surfaces inline on the PR diff)."""
+    out = stream or sys.stdout
+    for finding in result.findings:
+        if fmt == "github":
+            print(
+                f"::error file={finding.path},line={finding.line},"
+                f"title={finding.rule}::{finding.message}",
+                file=out,
+            )
+        else:
+            print(finding.render(), file=out)
+    for key in result.stale_baseline:
+        message = f"stale baseline entry (nothing matches it): {key}"
+        if fmt == "github":
+            print(f"::error title=stale-baseline::{message}", file=out)
+        else:
+            print(message, file=out)

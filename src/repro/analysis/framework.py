@@ -1,0 +1,293 @@
+"""Rule registry, pragma suppression, and baseline plumbing.
+
+The analyzer is a plain stdlib-``ast`` walker: each rule inspects parsed
+modules (or the whole module set at once) and yields :class:`Finding`
+rows.  Three layers filter what the CLI finally reports:
+
+1. **Pragmas** — ``# repro: allow(<rule>[, <rule>...])`` on the offending
+   line suppresses that rule there, with the justification living in the
+   same comment.  The snapshot-coverage rule additionally honours
+   ``# snap: derived`` on an attribute's ``__init__``/field line (the
+   attribute is rebuilt from captured state, not captured itself).
+2. **Baseline** — a committed JSON file of grandfathered finding keys
+   (rule + path + message, no line numbers, so unrelated edits cannot
+   invalidate it).  Baselined findings are reported as suppressed, and
+   stale entries (baselined but no longer found) are surfaced so the
+   file can only shrink.
+3. **Scope** — determinism rules only apply to the engine packages
+   (``core``, ``cluster``, ``diffusion``, ``embedding``, ``workloads``);
+   benchmark/experiment code may legitimately read clocks.
+
+Adding a rule: subclass :class:`Rule`, set ``name``/``description`` (and
+``scope`` if not tree-wide), implement ``check_module`` or
+``check_project``, and decorate with :func:`register_rule`.  The CLI and
+the live-tree meta-test pick it up automatically.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+
+#: Engine packages the determinism rules are scoped to; benchmarks,
+#: experiment harnesses, and metrics are exempt by construction.
+DETERMINISM_SCOPE: Tuple[str, ...] = (
+    "core",
+    "cluster",
+    "diffusion",
+    "embedding",
+    "workloads",
+)
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)")
+_DERIVED_RE = re.compile(r"#\s*snap:\s*derived\b")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative, posix separators
+    line: int
+    message: str
+
+    @property
+    def key(self) -> str:
+        """Baseline identity: stable under unrelated line-number drift."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class ParsedModule:
+    """One source file, parsed once and shared by every rule."""
+
+    path: Path
+    relpath: str  # relative to the repo root, posix
+    source: str
+    tree: ast.Module
+    #: line -> set of rule names allowed there (``# repro: allow(...)``)
+    allowed: Dict[int, Set[str]] = field(default_factory=dict)
+    #: lines carrying ``# snap: derived``
+    derived_lines: Set[int] = field(default_factory=set)
+
+    @classmethod
+    def parse(cls, path: Path, root: Path) -> "ParsedModule":
+        source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
+        allowed: Dict[int, Set[str]] = {}
+        derived: Set[int] = set()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _ALLOW_RE.search(line)
+            if match:
+                rules = {
+                    name.strip()
+                    for name in match.group(1).split(",")
+                    if name.strip()
+                }
+                allowed.setdefault(lineno, set()).update(rules)
+            if _DERIVED_RE.search(line):
+                derived.add(lineno)
+        relpath = path.relative_to(root).as_posix()
+        return cls(
+            path=path,
+            relpath=relpath,
+            source=source,
+            tree=tree,
+            allowed=allowed,
+            derived_lines=derived,
+        )
+
+    def package(self) -> Optional[str]:
+        """Top-level package under ``src/repro`` (None outside it)."""
+        parts = self.relpath.split("/")
+        try:
+            i = parts.index("repro")
+        except ValueError:
+            return None
+        if i + 1 < len(parts) - 1:
+            return parts[i + 1]
+        return ""  # a module directly under repro/ (e.g. _rng.py)
+
+    def is_allowed(self, rule: str, line: int) -> bool:
+        return rule in self.allowed.get(line, ())
+
+
+class Rule:
+    """Base class for analyzer rules.
+
+    Per-module rules implement :meth:`check_module`; whole-project rules
+    (anything that needs cross-file reads, like config threading)
+    implement :meth:`check_project`.  ``scope`` limits a rule to the
+    named top-level packages under ``repro/`` (None = everywhere).
+    """
+
+    name: str = "base"
+    description: str = ""
+    scope: Optional[Tuple[str, ...]] = None
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        if self.scope is None:
+            return True
+        return module.package() in self.scope
+
+    def check_module(self, module: ParsedModule) -> Iterable[Finding]:
+        return ()
+
+    def check_project(
+        self, modules: Sequence[ParsedModule]
+    ) -> Iterable[Finding]:
+        return ()
+
+
+#: Registry of analyzer rules, keyed by rule name.
+RULE_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a :class:`Rule` to the registry."""
+    if cls.name in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule name {cls.name!r}")
+    RULE_REGISTRY[cls.name] = cls
+    return cls
+
+
+def load_baseline(path: Optional[Path]) -> Set[str]:
+    """Grandfathered finding keys (empty for a missing/absent file)."""
+    if path is None or not path.exists():
+        return set()
+    data = json.loads(path.read_text())
+    findings = data.get("findings", [])
+    if not isinstance(findings, list) or not all(
+        isinstance(k, str) for k in findings
+    ):
+        raise ValueError(
+            f"baseline {path} must hold a JSON object with a "
+            "'findings' list of string keys"
+        )
+    return set(findings)
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analyzer run produced."""
+
+    findings: List[Finding]  # unsuppressed, unbaselined — these gate
+    suppressed: List[Finding]  # silenced by a line pragma
+    baselined: List[Finding]  # matched a baseline entry
+    stale_baseline: List[str]  # baseline keys nothing matched
+    n_modules: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def iter_source_files(paths: Sequence[Path]) -> List[Path]:
+    """Python files under ``paths`` (files pass through), sorted."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def make_rules(
+    names: Optional[Sequence[str]] = None,
+) -> List[Rule]:
+    """Instantiate registered rules (all by default), importing the
+    built-in rule modules on first use."""
+    # Import for registration side effects; idempotent.
+    from repro.analysis import (  # noqa: F401
+        rules_config,
+        rules_determinism,
+        rules_snapshot,
+    )
+
+    selected = names if names is not None else sorted(RULE_REGISTRY)
+    unknown = [n for n in selected if n not in RULE_REGISTRY]
+    if unknown:
+        raise ValueError(
+            f"unknown rule(s) {unknown}; "
+            f"available: {sorted(RULE_REGISTRY)}"
+        )
+    return [RULE_REGISTRY[n]() for n in selected]
+
+
+def run_analysis(
+    root: Path,
+    paths: Optional[Sequence[Path]] = None,
+    baseline: Optional[Path] = None,
+    rules: Optional[Sequence[str]] = None,
+) -> AnalysisResult:
+    """Parse, run every (selected) rule, and filter the findings.
+
+    ``root`` anchors relative paths (finding paths and baseline keys are
+    root-relative); ``paths`` defaults to ``<root>/src/repro``.  When an
+    explicit subset of paths is given, project-wide rules still see the
+    whole default tree as context (so a ``getattr`` in the subset can
+    resolve against attributes defined elsewhere) but only findings in
+    the requested paths are reported.
+    """
+    default_paths = [root / "src" / "repro"]
+    if paths is None:
+        paths = default_paths
+    modules = [
+        ParsedModule.parse(path, root)
+        for path in iter_source_files(paths)
+    ]
+    requested = {m.relpath for m in modules}
+    context = list(modules)
+    if paths is not default_paths:
+        for path in iter_source_files(default_paths):
+            parsed = ParsedModule.parse(path, root)
+            if parsed.relpath not in requested:
+                context.append(parsed)
+    active = make_rules(rules)
+    raw: List[Finding] = []
+    for rule in active:
+        for module in modules:
+            if rule.applies_to(module):
+                raw.extend(rule.check_module(module))
+        raw.extend(
+            finding
+            for finding in rule.check_project(
+                [m for m in context if rule.applies_to(m)]
+            )
+            if finding.path in requested
+        )
+    raw.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+
+    by_path = {m.relpath: m for m in modules}
+    baseline_keys = load_baseline(baseline)
+    matched_keys: Set[str] = set()
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in raw:
+        module = by_path.get(finding.path)
+        if module is not None and module.is_allowed(
+            finding.rule, finding.line
+        ):
+            suppressed.append(finding)
+        elif finding.key in baseline_keys:
+            matched_keys.add(finding.key)
+            baselined.append(finding)
+        else:
+            findings.append(finding)
+    return AnalysisResult(
+        findings=findings,
+        suppressed=suppressed,
+        baselined=baselined,
+        stale_baseline=sorted(baseline_keys - matched_keys),
+        n_modules=len(modules),
+    )

@@ -1,0 +1,283 @@
+"""Config threading rules: no dead knobs, no dangling string lookups.
+
+A config field nobody reads is worse than dead code — callers set it
+expecting behavior to change, and nothing does.  Symmetrically, a
+string-keyed ``getattr`` or registry subscript that names nothing real
+fails only on the code path that exercises it.  Both are project-wide
+properties, so these rules run over the full module set at once
+(:meth:`~repro.analysis.framework.Rule.check_project`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.framework import (
+    Finding,
+    ParsedModule,
+    Rule,
+    register_rule,
+)
+
+#: Config dataclasses whose every field must be read somewhere in src.
+TARGET_CONFIGS: Tuple[str, ...] = (
+    "MoDMConfig",
+    "ClusterRoutingConfig",
+    "SLOPolicy",
+)
+
+
+def _is_classvar(annotation: ast.expr) -> bool:
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id == "ClassVar"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "ClassVar"
+    return False
+
+
+@register_rule
+class ConfigFieldUnreadRule(Rule):
+    """Every field of the target config dataclasses is read somewhere
+    in src outside the defining class body.
+
+    A read is an attribute access (``cfg.field``) or a string literal
+    naming the field (dynamic ``getattr``/column-name paths).  Reads
+    inside ``__post_init__`` do not count — validating a knob is not
+    threading it — but reads in the class's regular methods do.
+    """
+
+    name = "config-field-unread"
+    description = (
+        "config dataclass field never read outside __post_init__ "
+        "validation; dead knob or missing wiring"
+    )
+
+    def check_project(
+        self, modules: Sequence[ParsedModule]
+    ) -> Iterable[Finding]:
+        # field -> (module, class, lineno, __post_init__ line span)
+        fields: List[Tuple[str, str, str, int, Tuple[int, int]]] = []
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if (
+                    isinstance(node, ast.ClassDef)
+                    and node.name in TARGET_CONFIGS
+                ):
+                    span = (0, 0)
+                    for item in node.body:
+                        if (
+                            isinstance(item, ast.FunctionDef)
+                            and item.name == "__post_init__"
+                        ):
+                            span = (
+                                item.lineno,
+                                item.end_lineno or item.lineno,
+                            )
+                    for item in node.body:
+                        if (
+                            isinstance(item, ast.AnnAssign)
+                            and isinstance(item.target, ast.Name)
+                            and not _is_classvar(item.annotation)
+                        ):
+                            fields.append(
+                                (
+                                    item.target.id,
+                                    module.relpath,
+                                    node.name,
+                                    item.lineno,
+                                    span,
+                                )
+                            )
+        # name -> list of (module, line) occurrences as attribute reads
+        # or string literals, anywhere in src.
+        reads: Dict[str, List[Tuple[str, int]]] = {}
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Attribute) and isinstance(
+                    node.ctx, ast.Load
+                ):
+                    reads.setdefault(node.attr, []).append(
+                        (module.relpath, node.lineno)
+                    )
+                elif isinstance(node, ast.Constant) and isinstance(
+                    node.value, str
+                ):
+                    reads.setdefault(node.value, []).append(
+                        (module.relpath, node.lineno)
+                    )
+        for name, relpath, cls, lineno, span in fields:
+            outside = [
+                (path, line)
+                for path, line in reads.get(name, [])
+                if path != relpath or not span[0] <= line <= span[1]
+            ]
+            if not outside:
+                yield Finding(
+                    rule=self.name,
+                    path=relpath,
+                    line=lineno,
+                    message=(
+                        f"{cls}.{name} is never read outside "
+                        "__post_init__ — dead knob or missing wiring"
+                    ),
+                )
+
+
+def _defined_names(modules: Sequence[ParsedModule]) -> Set[str]:
+    """Every attribute/function/class/slot name defined anywhere in the
+    module set — the resolution universe for string-keyed getattr."""
+    names: Set[str] = set()
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                names.add(node.name)
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name):
+                    names.add(node.target.id)
+                elif isinstance(node.target, ast.Attribute):
+                    names.add(node.target.attr)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+                        if target.id == "__slots__" and isinstance(
+                            node.value, (ast.Tuple, ast.List)
+                        ):
+                            for element in node.value.elts:
+                                if isinstance(
+                                    element, ast.Constant
+                                ) and isinstance(element.value, str):
+                                    names.add(element.value)
+                    elif isinstance(target, ast.Attribute):
+                        names.add(target.attr)
+    return names
+
+
+@register_rule
+class GetattrLiteralRule(Rule):
+    """String-literal ``getattr``/``setattr``/``hasattr`` must name an
+    attribute defined somewhere in src (dunders always resolve)."""
+
+    name = "getattr-literal"
+    description = (
+        "getattr/setattr/hasattr with a string literal that matches "
+        "no attribute defined anywhere in src — likely a typo"
+    )
+
+    def check_project(
+        self, modules: Sequence[ParsedModule]
+    ) -> Iterable[Finding]:
+        universe = _defined_names(modules)
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id
+                    in ("getattr", "setattr", "hasattr")
+                    and len(node.args) >= 2
+                ):
+                    continue
+                arg = node.args[1]
+                if not (
+                    isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)
+                ):
+                    continue
+                name = arg.value
+                if name.startswith("__") and name.endswith("__"):
+                    continue
+                if name not in universe:
+                    yield Finding(
+                        rule=self.name,
+                        path=module.relpath,
+                        line=node.lineno,
+                        message=(
+                            f"{node.func.id}(..., {name!r}) resolves "
+                            "to no attribute defined in src"
+                        ),
+                    )
+
+
+@register_rule
+class RegistryKeyRule(Rule):
+    """String subscripts into module-level ALL_CAPS dict registries must
+    hit a registered key.
+
+    A registry is a module-level ``NAME = {...}`` with string keys (plus
+    any later ``NAME["key"] = ...`` registrations).  Lookup sites across
+    the whole tree are checked against the union of registered keys.
+    """
+
+    name = "registry-key"
+    description = (
+        "string lookup into a module-level registry dict names no "
+        "registered key"
+    )
+
+    def check_project(
+        self, modules: Sequence[ParsedModule]
+    ) -> Iterable[Finding]:
+        registries: Dict[str, Set[str]] = {}
+        for module in modules:
+            for node in module.tree.body:
+                if not isinstance(node, ast.Assign):
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id.isupper()
+                        and isinstance(node.value, ast.Dict)
+                        and node.value.keys
+                        and all(
+                            isinstance(k, ast.Constant)
+                            and isinstance(k.value, str)
+                            for k in node.value.keys
+                        )
+                    ):
+                        registries.setdefault(target.id, set()).update(
+                            k.value  # type: ignore[union-attr]
+                            for k in node.value.keys
+                        )
+        if not registries:
+            return
+        # Later registrations: NAME["key"] = ... anywhere.
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if (
+                    isinstance(node, ast.Subscript)
+                    and isinstance(node.ctx, ast.Store)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in registries
+                    and isinstance(node.slice, ast.Constant)
+                    and isinstance(node.slice.value, str)
+                ):
+                    registries[node.value.id].add(node.slice.value)
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if (
+                    isinstance(node, ast.Subscript)
+                    and isinstance(node.ctx, ast.Load)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in registries
+                    and isinstance(node.slice, ast.Constant)
+                    and isinstance(node.slice.value, str)
+                    and node.slice.value
+                    not in registries[node.value.id]
+                ):
+                    yield Finding(
+                        rule=self.name,
+                        path=module.relpath,
+                        line=node.lineno,
+                        message=(
+                            f"{node.value.id}[{node.slice.value!r}] "
+                            "names no registered key"
+                        ),
+                    )

@@ -1,0 +1,454 @@
+"""Determinism rules: no hidden entropy in the engine packages.
+
+The simulation's contract is bit-identical traces for a fixed config
+and seed, and bit-identical resume-from-snapshot replays.  Anything
+that injects state from outside the (config, seed) pair — wall clocks,
+the process-global RNG, environment variables, memory addresses, or
+hash-randomized iteration order — breaks that silently.  These rules
+ban the common entry points at the AST level.
+
+All rules here are scoped to the engine packages
+(:data:`~repro.analysis.framework.DETERMINISM_SCOPE`); benchmarks,
+experiment harnesses, and ``repro/_rng.py`` (the sanctioned seed
+derivation module, which sits directly under ``repro/``) are exempt by
+construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.framework import (
+    DETERMINISM_SCOPE,
+    Finding,
+    ParsedModule,
+    Rule,
+    register_rule,
+)
+
+
+def collect_import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the dotted names they import.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``from time import perf_counter as pc`` -> ``{"pc": "time.perf_counter"}``.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name
+                    if alias.asname
+                    else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.level:  # relative import — never a stdlib clock/RNG
+                continue
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return aliases
+
+
+def resolve_dotted(
+    node: ast.expr, aliases: Dict[str, str]
+) -> Optional[str]:
+    """Fully-qualified dotted name for a Name/Attribute chain, through
+    import aliases; None for anything dynamic."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    head = aliases.get(node.id, node.id)
+    parts.append(head)
+    return ".".join(reversed(parts))
+
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@register_rule
+class WallClockRule(Rule):
+    """Ban wall/CPU clock reads: sim time comes from the event loop."""
+
+    name = "wall-clock"
+    description = (
+        "wall/CPU clock read in engine code (time.*, datetime.now); "
+        "simulated time must come from the event loop"
+    )
+    scope = DETERMINISM_SCOPE
+
+    def check_module(self, module: ParsedModule) -> Iterable[Finding]:
+        aliases = collect_import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = resolve_dotted(node.func, aliases)
+            if dotted in _WALL_CLOCK:
+                yield Finding(
+                    rule=self.name,
+                    path=module.relpath,
+                    line=node.lineno,
+                    message=f"call to {dotted}()",
+                )
+
+
+# numpy.random module-level functions that read/advance global or
+# unseeded state.  Constructing Generator/PCG64/SeedSequence objects is
+# fine — the seed discipline is checked at default_rng call sites.
+_NP_RANDOM_BANNED = {
+    "seed",
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "normal",
+    "uniform",
+    "standard_normal",
+    "bytes",
+}
+_SEED_HELPERS = {"seed_for", "rng_for"}
+
+
+@register_rule
+class GlobalRngRule(Rule):
+    """Ban the stdlib ``random`` module and global/unseeded numpy RNG.
+
+    Every stream must derive from ``repro._rng.seed_for`` /
+    ``rng_for`` so that streams are independent of call order and
+    reproducible from the run seed alone.  ``np.random.default_rng(x)``
+    is accepted only when ``x`` is a ``seed_for(...)`` call (or the
+    call site carries a pragma).
+    """
+
+    name = "global-rng"
+    description = (
+        "stdlib random or unseeded numpy RNG; derive streams via "
+        "repro._rng.seed_for/rng_for"
+    )
+    scope = DETERMINISM_SCOPE
+
+    def check_module(self, module: ParsedModule) -> Iterable[Finding]:
+        aliases = collect_import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = resolve_dotted(node.func, aliases)
+            if dotted is None:
+                continue
+            if dotted == "random" or dotted.startswith("random."):
+                yield Finding(
+                    rule=self.name,
+                    path=module.relpath,
+                    line=node.lineno,
+                    message=f"stdlib random call {dotted}()",
+                )
+                continue
+            if dotted.startswith("numpy.random."):
+                tail = dotted[len("numpy.random.") :]
+                if tail in _NP_RANDOM_BANNED:
+                    yield Finding(
+                        rule=self.name,
+                        path=module.relpath,
+                        line=node.lineno,
+                        message=(
+                            f"global numpy RNG call np.random.{tail}()"
+                        ),
+                    )
+                elif tail == "default_rng" and not self._seeded(
+                    node, aliases
+                ):
+                    yield Finding(
+                        rule=self.name,
+                        path=module.relpath,
+                        line=node.lineno,
+                        message=(
+                            "np.random.default_rng without a "
+                            "seed_for(...) seed"
+                        ),
+                    )
+
+    @staticmethod
+    def _seeded(node: ast.Call, aliases: Dict[str, str]) -> bool:
+        if not node.args or node.keywords:
+            return False
+        arg = node.args[0]
+        if not isinstance(arg, ast.Call):
+            return False
+        dotted = resolve_dotted(arg.func, aliases)
+        if dotted is None:
+            return False
+        return dotted.split(".")[-1] in _SEED_HELPERS
+
+
+@register_rule
+class EnvReadRule(Rule):
+    """Ban environment reads: runs must be a pure function of config."""
+
+    name = "env-read"
+    description = (
+        "os.environ / os.getenv read in engine code; thread settings "
+        "through the config dataclasses instead"
+    )
+    scope = DETERMINISM_SCOPE
+
+    def check_module(self, module: ParsedModule) -> Iterable[Finding]:
+        aliases = collect_import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                dotted = resolve_dotted(node.func, aliases)
+                if dotted in ("os.getenv", "os.environ.get"):
+                    yield Finding(
+                        rule=self.name,
+                        path=module.relpath,
+                        line=node.lineno,
+                        message=f"environment read via {dotted}()",
+                    )
+            elif isinstance(node, ast.Attribute) and node.attr == "environ":
+                dotted = resolve_dotted(node, aliases)
+                if dotted == "os.environ":
+                    yield Finding(
+                        rule=self.name,
+                        path=module.relpath,
+                        line=node.lineno,
+                        message="os.environ access",
+                    )
+
+
+@register_rule
+class IdKeyRule(Rule):
+    """Ban builtin ``id()``: addresses vary run to run, so any id-keyed
+    container or id-based ordering is nondeterministic."""
+
+    name = "id-key"
+    description = (
+        "builtin id() in engine code; memory addresses are not stable "
+        "across runs — key on an explicit identifier instead"
+    )
+    scope = DETERMINISM_SCOPE
+
+    def check_module(self, module: ParsedModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "id"
+            ):
+                yield Finding(
+                    rule=self.name,
+                    path=module.relpath,
+                    line=node.lineno,
+                    message="builtin id() call",
+                )
+
+
+# Consumers of an unordered iterable that are order-insensitive and
+# therefore fine: they reduce to a value independent of iteration order
+# (or, for sorted, impose one).
+_ORDER_SAFE_CALLS = {
+    "sorted",
+    "len",
+    "min",
+    "max",
+    "any",
+    "all",
+    "frozenset",
+    "set",
+}
+
+
+def _is_set_expr(
+    node: ast.expr, set_names: Set[str], self_sets: Set[str]
+) -> bool:
+    """Does this expression (conservatively) evaluate to a set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr in self_sets
+    ):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(
+            node.left, set_names, self_sets
+        ) or _is_set_expr(node.right, set_names, self_sets)
+    if isinstance(node, ast.Call) and isinstance(
+        node.func, ast.Attribute
+    ):
+        # s.union(...), s.intersection(...), s.difference(...), s.copy()
+        if node.func.attr in (
+            "union",
+            "intersection",
+            "difference",
+            "symmetric_difference",
+        ):
+            return _is_set_expr(node.func.value, set_names, self_sets)
+        if node.func.attr == "copy":
+            return _is_set_expr(node.func.value, set_names, self_sets)
+    return False
+
+
+def _annotation_is_set(node: Optional[ast.expr]) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in ("set", "frozenset", "Set", "FrozenSet")
+    if isinstance(node, ast.Subscript):
+        return _annotation_is_set(node.value)
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("Set", "FrozenSet", "AbstractSet")
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        head = node.value.split("[")[0].strip()
+        return head in ("set", "frozenset", "Set", "FrozenSet")
+    return False
+
+
+@register_rule
+class UnorderedIterRule(Rule):
+    """Flag order-dependent iteration over ``set``-typed values.
+
+    CPython randomizes string hashing per process, so set iteration
+    order varies run to run; any loop or sequence construction over a
+    set that feeds accumulation or dispatch order is nondeterministic.
+    Order-insensitive reductions (``sorted``/``min``/``max``/``len``/
+    ``any``/``all``, membership tests) are allowed.
+
+    Deliberately NOT flagged: iteration over ``dict`` / ``dict.values``.
+    CPython dicts iterate in insertion order (a language guarantee since
+    3.7), and the engine leans on that — flagging it would bury real
+    findings in noise.  The hazard this rule targets is hash order, and
+    only sets expose it.
+    """
+
+    name = "unordered-iter"
+    description = (
+        "iteration over a set feeds accumulation or dispatch order; "
+        "set iteration order is hash-randomized — sort first"
+    )
+    scope = DETERMINISM_SCOPE
+
+    def check_module(self, module: ParsedModule) -> Iterable[Finding]:
+        # Pass 1: collect set-typed names — module/function locals and
+        # self attributes — from assignments and annotations.
+        set_names: Set[str] = set()
+        self_sets: Set[str] = set()
+        for node in ast.walk(module.tree):
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+                value = node.value
+                if _annotation_is_set(node.annotation):
+                    self._bind(node.target, set_names, self_sets)
+            elif isinstance(node, ast.AugAssign):
+                continue
+            if value is not None and _is_set_expr(
+                value, set_names, self_sets
+            ):
+                for target in targets:
+                    self._bind(target, set_names, self_sets)
+        # A second sweep so self-attributes assigned after their first
+        # use in source order are still recognized.
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign) and _is_set_expr(
+                node.value, set_names, self_sets
+            ):
+                for target in node.targets:
+                    self._bind(target, set_names, self_sets)
+
+        # Pass 2: flag order-sensitive consumption.
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter, set_names, self_sets):
+                    yield self._finding(module, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    if _is_set_expr(gen.iter, set_names, self_sets):
+                        yield self._finding(module, gen.iter)
+            elif isinstance(node, ast.Call):
+                fn = node.func
+                if (
+                    isinstance(fn, ast.Name)
+                    and fn.id in ("list", "tuple", "sum")
+                    and node.args
+                    and _is_set_expr(
+                        node.args[0], set_names, self_sets
+                    )
+                ):
+                    yield self._finding(module, node.args[0])
+                elif (
+                    isinstance(fn, ast.Attribute)
+                    and fn.attr == "join"
+                    and node.args
+                    and _is_set_expr(
+                        node.args[0], set_names, self_sets
+                    )
+                ):
+                    yield self._finding(module, node.args[0])
+
+    @staticmethod
+    def _bind(
+        target: ast.expr, set_names: Set[str], self_sets: Set[str]
+    ) -> None:
+        if isinstance(target, ast.Name):
+            set_names.add(target.id)
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            self_sets.add(target.attr)
+
+    def _finding(
+        self, module: ParsedModule, node: ast.expr
+    ) -> Finding:
+        desc = (
+            f"self.{node.attr}"
+            if isinstance(node, ast.Attribute)
+            else node.id
+            if isinstance(node, ast.Name)
+            else "a set expression"
+        )
+        return Finding(
+            rule=self.name,
+            path=module.relpath,
+            line=node.lineno,
+            message=(
+                f"order-sensitive iteration over set {desc}; "
+                "wrap in sorted(...)"
+            ),
+        )

@@ -1,0 +1,224 @@
+"""Snapshot coverage: every mutable attribute is captured and restored.
+
+For each class that exposes a capture/restore method pair, prove that
+every attribute the class owns (assigned on ``self`` in ``__init__``,
+listed in ``__slots__``, or declared as a dataclass field) is referenced
+in *both* the capture path and the restore path.  An attribute whose
+binding line carries ``# snap: derived`` is exempt — that marks state
+rebuilt from captured fields (memos, preallocated buffers) or immutable
+configuration that restore never needs to touch.
+
+Reference detection is deliberately loose: any occurrence of the
+attribute's name inside the method body — as an attribute access, a bare
+name, a keyword argument, or a string literal — counts, and the search
+follows one level of calls into other methods of the same class (so
+``from_entries`` delegating to ``append`` still covers the ring
+columns).  Loose matching means this rule can be fooled by a
+coincidental name, but it cannot silently miss a *removed* field — which
+is the failure mode that corrupts replay.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.framework import (
+    Finding,
+    ParsedModule,
+    Rule,
+    register_rule,
+)
+
+#: Capture-side method names, in priority order (first match wins).
+CAPTURE_METHODS: Tuple[str, ...] = (
+    "snapshot",
+    "snapshot_state",
+    "capture",
+    "state",
+    "entries",
+)
+#: Restore-side method names, in priority order.
+RESTORE_METHODS: Tuple[str, ...] = (
+    "restore",
+    "restore_state",
+    "from_entries",
+)
+
+
+def _method_map(cls: ast.ClassDef) -> Dict[str, ast.FunctionDef]:
+    return {
+        node.name: node
+        for node in cls.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _pick(
+    methods: Dict[str, ast.FunctionDef], names: Tuple[str, ...]
+) -> Optional[ast.FunctionDef]:
+    for name in names:
+        if name in methods:
+            return methods[name]
+    return None
+
+
+def _is_classvar(annotation: ast.expr) -> bool:
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id == "ClassVar"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "ClassVar"
+    return False
+
+
+def owned_attributes(cls: ast.ClassDef) -> Dict[str, int]:
+    """Attribute name -> binding line for everything the class owns.
+
+    ``__init__`` assignment lines take priority over the ``__slots__``
+    declaration so a ``# snap: derived`` pragma can target one
+    attribute without exempting every slot sharing the tuple's line.
+    """
+    attrs: Dict[str, int] = {}
+    # self.X = ... inside __init__ / __post_init__.
+    methods = _method_map(cls)
+    for init_name in ("__init__", "__post_init__"):
+        init = methods.get(init_name)
+        if init is None:
+            continue
+        for node in ast.walk(init):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    attrs.setdefault(target.attr, target.lineno)
+    # Dataclass fields / annotated class attrs (skip ClassVar).
+    for node in cls.body:
+        if isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            if not _is_classvar(node.annotation):
+                attrs.setdefault(node.target.id, node.lineno)
+        elif isinstance(node, ast.Assign):
+            # __slots__ = ("a", "b") binds each named slot.
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "__slots__"
+                    and isinstance(node.value, (ast.Tuple, ast.List))
+                ):
+                    for element in node.value.elts:
+                        if isinstance(
+                            element, ast.Constant
+                        ) and isinstance(element.value, str):
+                            attrs.setdefault(
+                                element.value, element.lineno
+                            )
+    return attrs
+
+
+def referenced_names(
+    method: ast.FunctionDef,
+    methods: Dict[str, ast.FunctionDef],
+) -> Set[str]:
+    """Every identifier-ish token the method body can see, following
+    one level of calls into sibling methods of the same class."""
+    refs: Set[str] = set()
+    bodies: List[ast.FunctionDef] = [method]
+    for node in ast.walk(method):
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            callee = methods.get(node.func.attr)
+            if callee is not None and callee is not method:
+                bodies.append(callee)
+    for body in bodies:
+        for node in ast.walk(body):
+            if isinstance(node, ast.Attribute):
+                refs.add(node.attr)
+            elif isinstance(node, ast.Name):
+                refs.add(node.id)
+            elif isinstance(node, ast.keyword) and node.arg:
+                refs.add(node.arg)
+            elif isinstance(node, ast.Constant) and isinstance(
+                node.value, str
+            ):
+                refs.add(node.value)
+    return refs
+
+
+def _is_derived(module: ParsedModule, lineno: int) -> bool:
+    """Is the attribute bound at ``lineno`` marked ``# snap: derived``?
+
+    The pragma may sit on the binding line itself or anywhere in the
+    contiguous comment block immediately above it (long justifications
+    do not fit on one line).
+    """
+    if lineno in module.derived_lines:
+        return True
+    lines = module.source.splitlines()
+    j = lineno - 2  # zero-based index of the line above the binding
+    while j >= 0 and lines[j].strip().startswith("#"):
+        if (j + 1) in module.derived_lines:
+            return True
+        j -= 1
+    return False
+
+
+@register_rule
+class SnapshotCoverageRule(Rule):
+    """Every owned attribute appears in both capture and restore, or is
+    marked ``# snap: derived`` on its binding line (or the comment
+    block directly above it)."""
+
+    name = "snapshot-coverage"
+    description = (
+        "attribute of a snapshottable class missing from its "
+        "capture or restore path (mark rebuilt/immutable state with "
+        "'# snap: derived')"
+    )
+
+    def check_module(self, module: ParsedModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = _method_map(node)
+            capture = _pick(methods, CAPTURE_METHODS)
+            restore = _pick(methods, RESTORE_METHODS)
+            if capture is None or restore is None:
+                continue  # not a snapshottable class
+            attrs = owned_attributes(node)
+            capture_refs = referenced_names(capture, methods)
+            restore_refs = referenced_names(restore, methods)
+            for attr, lineno in sorted(attrs.items()):
+                if attr.startswith("__"):
+                    continue
+                if _is_derived(module, lineno):
+                    continue
+                missing = [
+                    name
+                    for name, refs in (
+                        (capture.name, capture_refs),
+                        (restore.name, restore_refs),
+                    )
+                    if attr not in refs
+                ]
+                if missing:
+                    yield Finding(
+                        rule=self.name,
+                        path=module.relpath,
+                        line=lineno,
+                        message=(
+                            f"{node.name}.{attr} not referenced in "
+                            f"{' or '.join(m + '()' for m in missing)}"
+                        ),
+                    )

@@ -162,19 +162,21 @@ class IVFIndex:
         params: IVFParams,
     ):
         capacity, _ = matrix.shape
-        self._matrix = matrix
-        self._live = live
-        self.params = params
-        self.nlist = params.resolved_nlist(capacity)
+        self._matrix = matrix  # snap: derived (cache-owned buffer)
+        self._live = live  # snap: derived (cache-owned buffer)
+        self.params = params  # snap: derived (immutable config)
+        self.nlist = params.resolved_nlist(capacity)  # snap: derived
         # Clamped to nlist: below that occupancy train() cannot fit the
         # requested cells, and an unclamped gate would make every
         # retrieval in [train_min, nlist) attempt (and abort) training.
-        self.train_min = max(
+        self.train_min = max(  # snap: derived (from params)
             params.resolved_train_min(capacity), self.nlist
         )
+        # snap: derived (from params)
         self._retrain_inserts = params.resolved_retrain_inserts(capacity)
         self._centroids: Optional[np.ndarray] = None  # (nlist, d), unit
         self._lists: List[List[int]] = []
+        # snap: derived (per-cell memo of _lists; rebuilt lazily)
         self._list_arrays: List[Optional[np.ndarray]] = []
         self._blocks: List[Optional[np.ndarray]] = []  # (cap, d) f32
         self._valid: List[Optional[np.ndarray]] = []  # (cap,) bool
@@ -190,7 +192,7 @@ class IVFIndex:
         # Memoized coarse_centroids() result; the cluster router reads
         # the sketch on every arrival, so rebuild it only after the
         # cell sums actually change (insert/evict/train).
-        self._coarse_memo: Optional[np.ndarray] = None
+        self._coarse_memo: Optional[np.ndarray] = None  # snap: derived
         self._inserts_since_train = 0
         self.trainings = 0
 

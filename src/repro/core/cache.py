@@ -315,8 +315,9 @@ class VectorCache(Generic[PayloadT]):
         self._policy_name = policy
         self._backend = backend
         self._policy = make_eviction_policy(policy)
+        # snap: derived (both buffers rebuilt from entries on restore)
         self._matrix = np.zeros((capacity, embed_dim))
-        self._live = np.zeros(capacity, dtype=bool)
+        self._live = np.zeros(capacity, dtype=bool)  # snap: derived
         # IVF index over the (fixed) matrix/live buffers; None on the
         # exact backend, which keeps the pre-index scan path untouched.
         self._index: Optional[IVFIndex] = (
@@ -331,7 +332,8 @@ class VectorCache(Generic[PayloadT]):
             [None] * capacity
         )
         self._free_slots: List[int] = list(range(capacity - 1, -1, -1))
-        self._slot_of: Dict[int, int] = {}  # entry_id -> slot
+        # snap: derived (entry_id -> slot, rebuilt on restore)
+        self._slot_of: Dict[int, int] = {}
         # SnapCounter, not itertools.count: entry ids key staleness
         # checks and must survive snapshot/restore exactly.
         self._ids = _id_source if _id_source is not None else SnapCounter()
@@ -852,8 +854,8 @@ class ShardedVectorCache(Generic[PayloadT]):
             raise ValueError("n_shards must be >= 1")
         if n_shards > capacity:
             raise ValueError("n_shards must not exceed capacity")
-        self._policy_name = policy
-        self._backend = backend
+        self._policy_name = policy  # snap: derived (constructor config)
+        self._backend = backend  # snap: derived (constructor config)
         self._ids = SnapCounter()
         base, extra = divmod(capacity, n_shards)
         self._shards: List[VectorCache[PayloadT]] = [
@@ -867,7 +869,7 @@ class ShardedVectorCache(Generic[PayloadT]):
             )
             for i in range(n_shards)
         ]
-        self._embed_dim = embed_dim
+        self._embed_dim = embed_dim  # snap: derived (constructor config)
         self._next_shard = 0
         self._shard_of: Dict[int, int] = {}  # entry_id -> shard index
         self._lookups = 0  # logical queries (each fans out to all shards)

@@ -320,6 +320,9 @@ class Snapshot:
     stats_state: Dict[str, Any]
     # Journal
     journal_entries: List[Tuple[float, int, int, int, float]]
+    # snap: derived (verification metadata: restore() rebuilds the
+    # journal from journal_entries and the digest is recomputed; kept
+    # in the snapshot so replay tooling can cross-check integrity)
     journal_digest: str
     # MoDM-specific (None for other engines)
     miss_queue_state: Optional[tuple] = None

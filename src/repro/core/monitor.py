@@ -122,10 +122,10 @@ class GlobalMonitor:
             raise ValueError("need at least one small-model candidate")
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
-        self._config = config
-        self._large = large_model
-        self._smalls = list(small_models)
-        self._gpu = gpu_name
+        self._config = config  # snap: derived (constructor config)
+        self._large = large_model  # snap: derived (constructor config)
+        self._smalls = list(small_models)  # snap: derived (config)
+        self._gpu = gpu_name  # snap: derived (constructor config)
         self._n = n_workers
         self._pid = PIDController(
             kp=config.kp, ki=config.ki, kd=config.kd

@@ -16,10 +16,10 @@ from typing import Optional
 class PIDController:
     """Discrete PID on the allocation error ``target - current``."""
 
-    kp: float = 0.6
-    ki: float = 0.05
-    kd: float = 0.05
-    integral_limit: Optional[float] = 10.0
+    kp: float = 0.6  # snap: derived (gain is config, not state)
+    ki: float = 0.05  # snap: derived (gain is config, not state)
+    kd: float = 0.05  # snap: derived (gain is config, not state)
+    integral_limit: Optional[float] = 10.0  # snap: derived (config)
     _integral: float = field(default=0.0, repr=False)
     _prev_error: Optional[float] = field(default=None, repr=False)
 

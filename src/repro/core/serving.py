@@ -324,6 +324,8 @@ class _ReadyQueue:
         # (priority, deadline, seq, record) tuples.
         self._ready = collections.deque() if not edf else []
         self._pending: List[Tuple[float, int, RequestRecord]] = []
+        # snap: derived (FIFO tiebreak only; restore_state re-issues
+        # seqs in the persisted list order, so values need not survive)
         self._seq = itertools.count()
 
     def _add_ready(self, record: RequestRecord) -> None:

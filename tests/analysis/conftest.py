@@ -1,0 +1,33 @@
+"""Shared fixtures for the invariant-analyzer tests."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.framework import ParsedModule
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def parse_snippet(tmp_path):
+    """Write a dedented snippet under a src/repro-shaped tree and parse
+    it, so package-scoped rules see it as engine code."""
+
+    def _parse(
+        source: str, relpath: str = "src/repro/core/snippet.py"
+    ) -> ParsedModule:
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        return ParsedModule.parse(path, tmp_path)
+
+    return _parse
+
+
+@pytest.fixture
+def repo_root() -> Path:
+    return REPO_ROOT

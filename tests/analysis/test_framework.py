@@ -1,0 +1,203 @@
+"""Framework-level behavior: pragmas, baseline, scope, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.__main__ import main as analysis_main
+from repro.analysis.framework import (
+    DETERMINISM_SCOPE,
+    Finding,
+    RULE_REGISTRY,
+    load_baseline,
+    make_rules,
+    run_analysis,
+)
+
+
+def test_pragma_parsing(parse_snippet):
+    module = parse_snippet(
+        """
+        x = 1  # repro: allow(wall-clock)
+        y = 2  # repro: allow(wall-clock, global-rng)
+        z = 3
+        """
+    )
+    assert module.is_allowed("wall-clock", 2)
+    assert module.is_allowed("wall-clock", 3)
+    assert module.is_allowed("global-rng", 3)
+    assert not module.is_allowed("global-rng", 2)
+    assert not module.is_allowed("wall-clock", 4)
+
+
+def test_derived_pragma_lines(parse_snippet):
+    module = parse_snippet(
+        """
+        a = 1  # snap: derived (rebuilt on restore)
+        b = 2
+        """
+    )
+    assert 2 in module.derived_lines
+    assert 3 not in module.derived_lines
+
+
+def test_package_scoping(parse_snippet):
+    core = parse_snippet("x = 1\n", "src/repro/core/a.py")
+    bench = parse_snippet("x = 1\n", "benchmarks/bench_a.py")
+    top = parse_snippet("x = 1\n", "src/repro/_rng.py")
+    assert core.package() == "core"
+    assert bench.package() is None
+    assert top.package() == ""
+    assert core.package() in DETERMINISM_SCOPE
+    assert top.package() not in DETERMINISM_SCOPE
+
+
+def test_finding_key_is_line_independent():
+    a = Finding("r", "p.py", 10, "msg")
+    b = Finding("r", "p.py", 99, "msg")
+    assert a.key == b.key == "r::p.py::msg"
+
+
+def test_load_baseline_roundtrip(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"findings": ["r::p.py::msg"]}))
+    assert load_baseline(path) == {"r::p.py::msg"}
+    assert load_baseline(tmp_path / "absent.json") == set()
+    path.write_text(json.dumps({"findings": [1, 2]}))
+    with pytest.raises(ValueError):
+        load_baseline(path)
+
+
+def test_baseline_suppresses_and_tracks_stale(tmp_path):
+    src = tmp_path / "src" / "repro" / "core"
+    src.mkdir(parents=True)
+    (src / "bad.py").write_text("import time\nt = time.time()\n")
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(
+        json.dumps(
+            {
+                "findings": [
+                    "wall-clock::src/repro/core/bad.py"
+                    "::call to time.time()",
+                    "wall-clock::src/repro/core/gone.py"
+                    "::call to time.time()",
+                ]
+            }
+        )
+    )
+    result = run_analysis(
+        tmp_path, baseline=baseline, rules=["wall-clock"]
+    )
+    assert result.findings == []
+    assert len(result.baselined) == 1
+    assert result.stale_baseline == [
+        "wall-clock::src/repro/core/gone.py::call to time.time()"
+    ]
+
+
+def test_pragma_beats_baseline(tmp_path):
+    src = tmp_path / "src" / "repro" / "core"
+    src.mkdir(parents=True)
+    (src / "bad.py").write_text(
+        "import time\nt = time.time()  # repro: allow(wall-clock)\n"
+    )
+    result = run_analysis(tmp_path, rules=["wall-clock"])
+    assert result.findings == []
+    assert len(result.suppressed) == 1
+
+
+def test_subset_paths_keep_project_rule_context(tmp_path):
+    # Analyzing one file must not shrink the defined-names universe
+    # project-wide rules resolve against: definitions living elsewhere
+    # in the default tree still count, and findings are only reported
+    # for the requested paths.
+    src = tmp_path / "src" / "repro" / "core"
+    src.mkdir(parents=True)
+    (src / "defs.py").write_text(
+        "class System:\n"
+        "    def __init__(self):\n"
+        "        self._journal = None\n"
+        "        self._journal_bad = None  # referenced nowhere\n"
+    )
+    consumer = src / "consumer.py"
+    consumer.write_text(
+        "def peek(system):\n"
+        "    return getattr(system, '_journal', None)\n"
+    )
+    result = run_analysis(
+        tmp_path, paths=[consumer], rules=["getattr-literal"]
+    )
+    assert result.findings == [], [
+        f.render() for f in result.findings
+    ]
+
+
+def test_make_rules_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown rule"):
+        make_rules(["no-such-rule"])
+
+
+def test_registry_holds_all_rule_families():
+    make_rules()  # force registration imports
+    assert {
+        "wall-clock",
+        "global-rng",
+        "env-read",
+        "id-key",
+        "unordered-iter",
+        "snapshot-coverage",
+        "config-field-unread",
+        "getattr-literal",
+        "registry-key",
+    } <= set(RULE_REGISTRY)
+
+
+def test_cli_red_then_green_with_pragma(tmp_path, capsys):
+    src = tmp_path / "src" / "repro" / "core"
+    src.mkdir(parents=True)
+    bad = src / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    assert analysis_main(["--root", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "[wall-clock]" in out and "time.time" in out
+
+    bad.write_text(
+        "import time\n"
+        "t = time.time()  # repro: allow(wall-clock) boot stamp\n"
+    )
+    assert analysis_main(["--root", str(tmp_path)]) == 0
+
+
+def test_cli_github_format(tmp_path, capsys):
+    src = tmp_path / "src" / "repro" / "core"
+    src.mkdir(parents=True)
+    (src / "bad.py").write_text("import time\nt = time.time()\n")
+    assert (
+        analysis_main(["--root", str(tmp_path), "--format", "github"])
+        == 1
+    )
+    out = capsys.readouterr().out
+    assert (
+        "::error file=src/repro/core/bad.py,line=2,"
+        "title=wall-clock::call to time.time()" in out
+    )
+
+
+def test_cli_stale_baseline_fails(tmp_path, capsys):
+    src = tmp_path / "src" / "repro" / "core"
+    src.mkdir(parents=True)
+    (src / "ok.py").write_text("x = 1\n")
+    baseline = tmp_path / "analysis_baseline.json"
+    baseline.write_text(
+        json.dumps({"findings": ["wall-clock::gone.py::call"]})
+    )
+    assert analysis_main(["--root", str(tmp_path)]) == 1
+    assert "stale baseline" in capsys.readouterr().out
+
+
+def test_cli_list_rules(capsys):
+    assert analysis_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "wall-clock" in out and "snapshot-coverage" in out

@@ -1,0 +1,85 @@
+"""Live-tree meta-tests: the real repo is clean, and the analyzer
+demonstrably catches a seeded snapshot-coverage mutation."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+from repro.analysis.framework import ParsedModule, run_analysis
+from repro.analysis.rules_snapshot import SnapshotCoverageRule
+
+
+def test_tree_has_zero_unbaselined_findings(repo_root):
+    result = run_analysis(
+        repo_root,
+        baseline=repo_root / "analysis_baseline.json",
+    )
+    assert result.findings == [], "\n".join(
+        f.render() for f in result.findings
+    )
+    assert result.stale_baseline == []
+    assert result.n_modules > 50  # really scanned the tree
+
+
+def test_baseline_is_empty_for_core_and_cluster(repo_root):
+    # The committed baseline grandfathers nothing at all, which is
+    # strictly stronger than the empty-for-core+cluster requirement.
+    import json
+
+    data = json.loads(
+        (repo_root / "analysis_baseline.json").read_text()
+    )
+    assert data["findings"] == []
+
+
+def test_mutation_dropped_capture_field_turns_red(
+    repo_root, tmp_path
+):
+    """Delete ``n_shed`` from ``Snapshot.capture`` — the exact slip the
+    rule exists to catch — and the analyzer must go red."""
+    source = (
+        repo_root / "src" / "repro" / "core" / "journal.py"
+    ).read_text()
+    mutated = source.replace("n_shed=system._n_shed,\n", "")
+    assert mutated != source, "mutation target not found"
+
+    victim = tmp_path / "journal_mutated.py"
+    victim.write_text(mutated)
+    module = ParsedModule.parse(victim, tmp_path)
+    findings = list(SnapshotCoverageRule().check_module(module))
+    assert any(
+        "Snapshot.n_shed" in f.message
+        and "capture()" in f.message
+        for f in findings
+    ), [f.render() for f in findings]
+
+    # Sanity: the unmutated file is clean.
+    pristine = tmp_path / "journal_pristine.py"
+    pristine.write_text(source)
+    clean = ParsedModule.parse(pristine, tmp_path)
+    assert list(SnapshotCoverageRule().check_module(clean)) == []
+
+
+def _import_script(repo_root: Path, name: str):
+    path = repo_root / "scripts" / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_gate_scripts_are_importable(repo_root):
+    """Importing the CI gate scripts runs nothing and exposes their
+    entry points (shared helpers live in repro.analysis._cli)."""
+    replay = _import_script(repo_root, "check_replay")
+    golden = _import_script(repo_root, "check_seed_golden")
+    assert callable(replay.main) and callable(replay.run_gate)
+    assert callable(golden.main) and callable(golden.build_payload)
+    # Both report through the same shared helpers.
+    from repro.analysis import _cli
+
+    assert replay.gate_ok is _cli.gate_ok
+    assert golden.gate_ok is _cli.gate_ok

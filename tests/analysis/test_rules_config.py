@@ -1,0 +1,153 @@
+"""Fixture-snippet tests for the config-threading rule family."""
+
+from __future__ import annotations
+
+from repro.analysis.rules_config import (
+    ConfigFieldUnreadRule,
+    GetattrLiteralRule,
+    RegistryKeyRule,
+)
+
+
+def test_unread_field_is_flagged(parse_snippet):
+    config = parse_snippet(
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class MoDMConfig:
+            cache_capacity: int = 100
+            dead_knob: float = 0.5
+
+            def __post_init__(self):
+                if self.dead_knob < 0:
+                    raise ValueError("dead_knob must be >= 0")
+        """,
+        "src/repro/core/config.py",
+    )
+    consumer = parse_snippet(
+        """
+        def build(config):
+            return [None] * config.cache_capacity
+        """,
+        "src/repro/core/cache.py",
+    )
+    findings = list(
+        ConfigFieldUnreadRule().check_project([config, consumer])
+    )
+    assert len(findings) == 1
+    assert "MoDMConfig.dead_knob" in findings[0].message
+
+
+def test_read_in_own_regular_method_counts(parse_snippet):
+    # __post_init__ validation is not threading, but a regular method
+    # of the config class consuming the field is.
+    config = parse_snippet(
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class SLOPolicy:
+            classes: tuple = ()
+
+            def class_for(self, request_id):
+                return self.classes[0]
+        """,
+        "src/repro/core/config.py",
+    )
+    assert list(ConfigFieldUnreadRule().check_project([config])) == []
+
+
+def test_string_literal_read_counts(parse_snippet):
+    config = parse_snippet(
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class MoDMConfig:
+            cache_capacity: int = 100
+        """,
+        "src/repro/core/config.py",
+    )
+    consumer = parse_snippet(
+        """
+        def read(config, name="cache_capacity"):
+            return getattr(config, name)
+        """,
+        "src/repro/core/serving.py",
+    )
+    assert (
+        list(ConfigFieldUnreadRule().check_project([config, consumer]))
+        == []
+    )
+
+
+def test_getattr_literal_typo_is_flagged(parse_snippet):
+    module = parse_snippet(
+        """
+        class System:
+            def __init__(self):
+                self._journal = None
+
+        def peek(system):
+            good = getattr(system, "_journal", None)
+            dunder = getattr(system, "__class__")
+            bad = getattr(system, "_jurnal", None)
+            return good, dunder, bad
+        """
+    )
+    findings = list(GetattrLiteralRule().check_project([module]))
+    assert len(findings) == 1
+    assert "_jurnal" in findings[0].message
+
+
+def test_getattr_annotated_self_attr_resolves(parse_snippet):
+    # self.x: T = ... (AnnAssign with an attribute target) defines x.
+    module = parse_snippet(
+        """
+        class System:
+            def __init__(self):
+                self._snaps: list = []
+
+        def peek(system):
+            return getattr(system, "_snaps", None)
+        """
+    )
+    assert list(GetattrLiteralRule().check_project([module])) == []
+
+
+def test_registry_lookup_unknown_key_is_flagged(parse_snippet):
+    module = parse_snippet(
+        """
+        POLICIES = {"fifo": 1, "lru": 2}
+        POLICIES["utility"] = 3
+
+        ok = POLICIES["fifo"]
+        late = POLICIES["utility"]
+        bad = POLICIES["lfu"]
+        """
+    )
+    findings = list(RegistryKeyRule().check_project([module]))
+    assert len(findings) == 1
+    assert "POLICIES['lfu']" in findings[0].message
+
+
+def test_registry_cross_module_lookup(parse_snippet):
+    registry = parse_snippet(
+        'BACKENDS = {"exact": 1, "ivf": 2}\n',
+        "src/repro/core/registry.py",
+    )
+    consumer = parse_snippet(
+        """
+        from repro.core.registry import BACKENDS
+
+        def pick():
+            return BACKENDS["ivf"], BACKENDS["faiss"]
+        """,
+        "src/repro/core/cache.py",
+    )
+    findings = list(
+        RegistryKeyRule().check_project([registry, consumer])
+    )
+    assert len(findings) == 1
+    assert "faiss" in findings[0].message

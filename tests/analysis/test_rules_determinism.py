@@ -1,0 +1,217 @@
+"""Fixture-snippet tests for the determinism rule family."""
+
+from __future__ import annotations
+
+from repro.analysis.rules_determinism import (
+    EnvReadRule,
+    GlobalRngRule,
+    IdKeyRule,
+    UnorderedIterRule,
+    WallClockRule,
+)
+
+
+def _run(rule, module):
+    return list(rule.check_module(module))
+
+
+class TestWallClock:
+    def test_triggers_on_time_time(self, parse_snippet):
+        module = parse_snippet(
+            """
+            import time
+            t = time.time()
+            """
+        )
+        findings = _run(WallClockRule(), module)
+        assert len(findings) == 1
+        assert "time.time" in findings[0].message
+
+    def test_triggers_through_aliases(self, parse_snippet):
+        module = parse_snippet(
+            """
+            import time as clock
+            from time import perf_counter as pc
+            from datetime import datetime
+            a = clock.monotonic()
+            b = pc()
+            c = datetime.now()
+            """
+        )
+        assert len(_run(WallClockRule(), module)) == 3
+
+    def test_ignores_simulated_time(self, parse_snippet):
+        module = parse_snippet(
+            """
+            def step(loop):
+                now = loop.now()
+                time = now + 1.0  # a local named time is not the module
+                return time
+            """
+        )
+        assert _run(WallClockRule(), module) == []
+
+    def test_out_of_scope_package_skipped(self, parse_snippet):
+        module = parse_snippet(
+            "import time\nt = time.time()\n",
+            "src/repro/experiments/bench.py",
+        )
+        assert not WallClockRule().applies_to(module)
+
+
+class TestGlobalRng:
+    def test_triggers_on_stdlib_random(self, parse_snippet):
+        module = parse_snippet(
+            """
+            import random
+            x = random.random()
+            """
+        )
+        findings = _run(GlobalRngRule(), module)
+        assert len(findings) == 1
+        assert "random.random" in findings[0].message
+
+    def test_triggers_on_global_numpy(self, parse_snippet):
+        module = parse_snippet(
+            """
+            import numpy as np
+            x = np.random.randint(10)
+            np.random.shuffle([1, 2])
+            """
+        )
+        assert len(_run(GlobalRngRule(), module)) == 2
+
+    def test_default_rng_requires_seed_for(self, parse_snippet):
+        module = parse_snippet(
+            """
+            import numpy as np
+            from repro._rng import seed_for
+            bad = np.random.default_rng()
+            also_bad = np.random.default_rng(42)
+            good = np.random.default_rng(seed_for("stream", 7))
+            """
+        )
+        findings = _run(GlobalRngRule(), module)
+        assert len(findings) == 2
+        assert all("seed_for" in f.message for f in findings)
+
+    def test_ignores_seeded_generator_objects(self, parse_snippet):
+        module = parse_snippet(
+            """
+            import numpy as np
+            gen = np.random.Generator(np.random.PCG64(123))
+            """
+        )
+        assert _run(GlobalRngRule(), module) == []
+
+
+class TestEnvRead:
+    def test_triggers_on_environ_and_getenv(self, parse_snippet):
+        module = parse_snippet(
+            """
+            import os
+            a = os.environ["HOME"]
+            b = os.getenv("SCALE", "smoke")
+            """
+        )
+        assert len(_run(EnvReadRule(), module)) == 2
+
+    def test_pragma_suppresses(self, parse_snippet):
+        module = parse_snippet(
+            """
+            import os
+            scale = os.getenv("X")  # repro: allow(env-read) CLI glue
+            """
+        )
+        findings = _run(EnvReadRule(), module)
+        assert len(findings) == 1  # the rule still reports it...
+        # ...and the framework filter removes it:
+        assert module.is_allowed("env-read", findings[0].line)
+
+
+class TestIdKey:
+    def test_triggers_on_id_call(self, parse_snippet):
+        module = parse_snippet("key = id(object())\n")
+        assert len(_run(IdKeyRule(), module)) == 1
+
+    def test_ignores_id_attribute_and_names(self, parse_snippet):
+        module = parse_snippet(
+            """
+            class R:
+                def key(self):
+                    return self.request.id
+            request_id = 7
+            """
+        )
+        assert _run(IdKeyRule(), module) == []
+
+
+class TestUnorderedIter:
+    def test_triggers_on_for_over_set(self, parse_snippet):
+        module = parse_snippet(
+            """
+            workers = {1, 2, 3}
+            total = 0
+            for w in workers:
+                total += w
+            """
+        )
+        findings = _run(UnorderedIterRule(), module)
+        assert len(findings) == 1
+        assert "workers" in findings[0].message
+
+    def test_triggers_on_self_set_attr(self, parse_snippet):
+        module = parse_snippet(
+            """
+            class Pool:
+                def __init__(self):
+                    self._idle = set()
+
+                def drain(self):
+                    return [w for w in self._idle]
+            """
+        )
+        findings = _run(UnorderedIterRule(), module)
+        assert len(findings) == 1
+        assert "self._idle" in findings[0].message
+
+    def test_triggers_on_list_of_set_expression(self, parse_snippet):
+        module = parse_snippet(
+            """
+            seen = {1} | {2}
+            order = list(seen)
+            """
+        )
+        assert len(_run(UnorderedIterRule(), module)) == 1
+
+    def test_sorted_iteration_is_clean(self, parse_snippet):
+        module = parse_snippet(
+            """
+            class Pool:
+                def __init__(self):
+                    self._idle = set()
+
+                def drain(self):
+                    return [w for w in sorted(self._idle)]
+
+                def count(self):
+                    return len(self._idle)
+
+                def has(self, w):
+                    return w in self._idle
+            """
+        )
+        assert _run(UnorderedIterRule(), module) == []
+
+    def test_dict_values_iteration_is_clean(self, parse_snippet):
+        # Deliberate design stance: CPython dicts iterate in insertion
+        # order (guaranteed since 3.7) and the engine relies on it.
+        module = parse_snippet(
+            """
+            buckets = {"a": 1}
+            total = sum(buckets.values())
+            for v in buckets.values():
+                total += v
+            """
+        )
+        assert _run(UnorderedIterRule(), module) == []

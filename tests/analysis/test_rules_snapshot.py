@@ -1,0 +1,223 @@
+"""Fixture-snippet tests for the snapshot-coverage rule."""
+
+from __future__ import annotations
+
+from repro.analysis.rules_snapshot import SnapshotCoverageRule
+
+
+def _run(module):
+    return list(SnapshotCoverageRule().check_module(module))
+
+
+def test_covered_class_is_clean(parse_snippet):
+    module = parse_snippet(
+        """
+        class Ring:
+            def __init__(self):
+                self.head = 0
+                self.items = []
+
+            def snapshot_state(self):
+                return (self.head, list(self.items))
+
+            def restore_state(self, state):
+                self.head, self.items = state[0], list(state[1])
+        """
+    )
+    assert _run(module) == []
+
+
+def test_missing_from_capture_is_flagged(parse_snippet):
+    module = parse_snippet(
+        """
+        class Ring:
+            def __init__(self):
+                self.head = 0
+                self.items = []
+
+            def snapshot_state(self):
+                return (self.head,)
+
+            def restore_state(self, state):
+                self.head = state[0]
+                self.items = []
+        """
+    )
+    findings = _run(module)
+    assert len(findings) == 1
+    assert "Ring.items" in findings[0].message
+    assert "snapshot_state()" in findings[0].message
+
+
+def test_missing_from_restore_is_flagged(parse_snippet):
+    module = parse_snippet(
+        """
+        class Ring:
+            def __init__(self):
+                self.head = 0
+
+            def snapshot_state(self):
+                return (self.head,)
+
+            def restore_state(self, state):
+                pass
+        """
+    )
+    findings = _run(module)
+    assert len(findings) == 1
+    assert "restore_state()" in findings[0].message
+
+
+def test_derived_pragma_exempts(parse_snippet):
+    module = parse_snippet(
+        """
+        class Ring:
+            def __init__(self):
+                self.head = 0
+                self.memo = None  # snap: derived (rebuilt lazily)
+
+            def snapshot_state(self):
+                return (self.head,)
+
+            def restore_state(self, state):
+                self.head = state[0]
+        """
+    )
+    assert _run(module) == []
+
+
+def test_derived_pragma_in_comment_block_above(parse_snippet):
+    module = parse_snippet(
+        """
+        class Ring:
+            def __init__(self):
+                self.head = 0
+                # snap: derived (a justification too long for one
+                # line, sitting in the block above the binding)
+                self.memo = None
+
+            def snapshot_state(self):
+                return (self.head,)
+
+            def restore_state(self, state):
+                self.head = state[0]
+        """
+    )
+    assert _run(module) == []
+
+
+def test_slots_attrs_are_owned(parse_snippet):
+    module = parse_snippet(
+        """
+        class Ring:
+            __slots__ = ("head", "tail")
+
+            def snapshot_state(self):
+                return (self.head,)
+
+            def restore_state(self, state):
+                self.head = state[0]
+        """
+    )
+    findings = _run(module)
+    assert len(findings) == 1
+    assert "Ring.tail" in findings[0].message
+
+
+def test_init_line_beats_slots_line_for_pragmas(parse_snippet):
+    # The pragma targets one slot via its __init__ assignment without
+    # exempting the siblings that share the __slots__ tuple's line.
+    module = parse_snippet(
+        """
+        class Ring:
+            __slots__ = ("head", "tail", "seq")
+
+            def __init__(self):
+                self.head = 0
+                self.tail = 0
+                self.seq = 0  # snap: derived (re-issued on restore)
+
+            def snapshot_state(self):
+                return (self.head,)
+
+            def restore_state(self, state):
+                self.head = state[0]
+        """
+    )
+    findings = _run(module)
+    assert [f.message for f in findings] == [
+        "Ring.tail not referenced in snapshot_state() "
+        "or restore_state()"
+    ]
+
+
+def test_transitive_closure_through_sibling_methods(parse_snippet):
+    # from_entries-style restore that delegates to append() still
+    # counts the columns append() touches.
+    module = parse_snippet(
+        """
+        class Journal:
+            def __init__(self):
+                self._time = []
+                self._kind = []
+
+            def append(self, t, k):
+                self._time.append(t)
+                self._kind.append(k)
+
+            def entries(self):
+                return list(zip(self._time, self._kind))
+
+            @classmethod
+            def from_entries(cls, entries):
+                journal = cls()
+                for t, k in entries:
+                    journal.append(t, k)
+                return journal
+        """
+    )
+    assert _run(module) == []
+
+
+def test_dataclass_capture_restore_pair(parse_snippet):
+    module = parse_snippet(
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class Snap:
+            time_s: float
+            heap: list
+            extra: int
+
+            @classmethod
+            def capture(cls, system):
+                return cls(
+                    time_s=system.now,
+                    heap=list(system.heap),
+                )
+
+            def restore(self, system):
+                system.now = self.time_s
+                system.heap = list(self.heap)
+                system.extra = self.extra
+        """
+    )
+    findings = _run(module)
+    assert len(findings) == 1
+    assert "Snap.extra" in findings[0].message
+    assert "capture()" in findings[0].message
+
+
+def test_class_without_pair_is_skipped(parse_snippet):
+    module = parse_snippet(
+        """
+        class Counter:
+            def __init__(self):
+                self.value = 0
+
+            def bump(self):
+                self.value += 1
+        """
+    )
+    assert _run(module) == []
