@@ -79,12 +79,19 @@ def _jsonable(value: Any) -> Any:
 
 
 def result_payload(result: ExperimentResult) -> Dict[str, Any]:
-    """JSON-ready dict of one :class:`ExperimentResult`."""
+    """JSON-ready dict of one :class:`ExperimentResult`.
+
+    The ``scale`` tag comes from the same ``REPRO_BENCH_SCALE``
+    environment variable the run itself was sized by, so every emitted
+    artefact passes ``scripts/check_bench_json.py`` and states what it
+    measured.
+    """
     return {
         "experiment_id": result.experiment_id,
         "title": result.title,
         "paper_reference": result.paper_reference,
         "notes": list(result.notes),
+        "scale": os.environ.get("REPRO_BENCH_SCALE", "default"),
         "rows": _jsonable(result.rows),
     }
 

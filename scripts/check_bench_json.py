@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Bench-artefact schema gate: every committed bench JSON is readable.
+
+The repo-root ``BENCH_*.json`` files and their
+``benchmarks/results/*.json`` twins are the machine-readable perf
+trajectory — downstream tooling (and the next PR's diff review) parses
+them, so a bench that silently drops its scale tag or writes an empty
+rows list breaks consumers long after the producing run went green.
+This gate validates every bench JSON against the minimal shared schema:
+
+* a top-level ``"scale"`` naming a known experiment scale
+  (``smoke`` / ``default`` / ``paper``);
+* at least one metric surface: a non-empty ``"metrics"`` dict of
+  numbers, a non-empty ``"rows"`` list, or numeric top-level fields;
+* when present, ``"acceptance"`` must be a non-empty all-boolean dict
+  (the pass/fail verdicts the producing bench asserted on).
+
+Reporting goes through ``repro.analysis._cli`` so this gate fails in
+the same format as the analyzer, seed-golden, and replay gates.
+
+Usage (repo root)::
+
+    PYTHONPATH=src python scripts/check_bench_json.py [paths...]
+
+With no arguments, checks ``BENCH_*.json`` and
+``benchmarks/results/*.json``.  Exit status: 0 when every file
+validates, 1 otherwise (listing every violation, not just the first).
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import numbers
+import os
+import sys
+from typing import List
+
+from repro.analysis._cli import gate_fail, gate_ok
+from repro.experiments import SCALES
+
+GATE = "bench-json"
+
+#: Top-level keys that never count as metric payload.
+_META_KEYS = frozenset(
+    ("scale", "acceptance", "experiment_id", "title",
+     "paper_reference", "notes", "benchmark")
+)
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, numbers.Real) and not isinstance(
+        value, bool
+    )
+
+
+def default_paths(root: str) -> List[str]:
+    return sorted(
+        glob.glob(os.path.join(root, "BENCH_*.json"))
+    ) + sorted(
+        glob.glob(os.path.join(root, "benchmarks", "results", "*.json"))
+    )
+
+
+def check_payload(payload: object) -> List[str]:
+    """Schema violations of one parsed bench payload (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"top level must be a JSON object, got {type(payload).__name__}"]
+    scale = payload.get("scale")
+    if scale is None:
+        problems.append('missing required "scale" field')
+    elif scale not in SCALES:
+        problems.append(
+            f'unknown scale {scale!r}; expected one of {sorted(SCALES)}'
+        )
+    metrics = payload.get("metrics")
+    rows = payload.get("rows")
+    has_metrics = False
+    if metrics is not None:
+        if not (
+            isinstance(metrics, dict)
+            and metrics
+            and all(_is_number(v) for v in metrics.values())
+        ):
+            problems.append(
+                '"metrics" must be a non-empty dict of numbers'
+            )
+        else:
+            has_metrics = True
+    if rows is not None:
+        if not (isinstance(rows, list) and rows):
+            problems.append('"rows" must be a non-empty list')
+        else:
+            has_metrics = True
+    if not has_metrics and not any(
+        _is_number(v)
+        for k, v in payload.items()
+        if k not in _META_KEYS
+    ):
+        problems.append(
+            'no metric surface: need a "metrics" dict, a "rows" '
+            "list, or numeric top-level fields"
+        )
+    acceptance = payload.get("acceptance")
+    if acceptance is not None and not (
+        isinstance(acceptance, dict)
+        and acceptance
+        and all(isinstance(v, bool) for v in acceptance.values())
+    ):
+        problems.append(
+            '"acceptance" must be a non-empty all-boolean dict'
+        )
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    root = os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    )
+    paths = argv or default_paths(root)
+    if not paths:
+        return gate_fail(GATE, "no bench JSON files found to check")
+    failures = []
+    for path in paths:
+        rel = os.path.relpath(path, root)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            failures.append(f"{rel}: unreadable ({exc})")
+            continue
+        for problem in check_payload(payload):
+            failures.append(f"{rel}: {problem}")
+    if failures:
+        for line in failures:
+            print(f"[{GATE}] {line}", file=sys.stderr)
+        return gate_fail(
+            GATE,
+            f"{len(failures)} violation(s) across "
+            f"{len(paths)} file(s)",
+        )
+    return gate_ok(GATE, f"{len(paths)} bench JSON file(s) conform")
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

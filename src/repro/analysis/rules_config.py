@@ -25,6 +25,7 @@ TARGET_CONFIGS: Tuple[str, ...] = (
     "MoDMConfig",
     "ClusterRoutingConfig",
     "SLOPolicy",
+    "TieredCacheConfig",
 )
 
 

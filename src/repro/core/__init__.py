@@ -7,6 +7,9 @@ The pieces of Fig. 4, as a library:
 * :mod:`repro.core.retrieval` — text-to-image vs text-to-text retrieval;
 * :mod:`repro.core.ann` — the IVF approximate-retrieval backend for
   sublinear million-entry cache lookups;
+* :mod:`repro.core.tiering` — the ten-million-entry tiered cache:
+  quantized fp16 scan blocks, a RAM-resident hot tier, and a memmap
+  cold tier with deterministic promotion/demotion;
 * :mod:`repro.core.kselection` — similarity-thresholded choice of skipped
   de-noising steps (Fig. 5b) and its quality-constrained calibration;
 * :mod:`repro.core.scheduler` — the Request Scheduler (embed, retrieve,
@@ -66,6 +69,12 @@ from repro.core.slo import (
     SloVerdict,
     summarize_slo,
 )
+from repro.core.tiering import (
+    ColdStore,
+    TieredCacheConfig,
+    TieredImageCache,
+    TieredVectorCache,
+)
 
 __all__ = [
     "Allocation",
@@ -76,6 +85,7 @@ __all__ = [
     "ClusterRouter",
     "ClusterRoutingConfig",
     "ClusterServingSystem",
+    "ColdStore",
     "Decision",
     "GlobalMonitor",
     "IVFIndex",
@@ -103,6 +113,9 @@ __all__ = [
     "SloVerdict",
     "TextToImageRetrieval",
     "TextToTextRetrieval",
+    "TieredCacheConfig",
+    "TieredImageCache",
+    "TieredVectorCache",
     "VanillaSystem",
     "derive_thresholds",
     "modm_cluster",

@@ -21,7 +21,8 @@ Design, in the order a request sees it:
   through its exact path, so a cold cache behaves identically to the
   exact backend.
 * **Packed inverted lists** — each cell stores its members' embeddings
-  in a contiguous float32 block (the classic IVF layout), so probing a
+  in a contiguous block (the classic IVF layout; float32 by default,
+  float16 for the tiered cache's quantized hot tier), so probing a
   cell is one sequential block-matvec instead of a row gather from the
   big matrix — gather overhead, not flops, dominates the re-rank at
   scale.  Inserts assign their slot to the nearest coarse centroid in
@@ -63,6 +64,12 @@ from repro._rng import rng_for
 #: Retrieval backends ``VectorCache`` accepts (``config.retrieval_backend``).
 RETRIEVAL_BACKENDS: Tuple[str, ...] = ("exact", "ivf")
 
+#: Packed-block element types (``IVFParams.block_dtype``).  ``fp32`` is
+#: the historical layout; ``fp16`` halves block memory for the tiered
+#: cache's quantized hot tier (the coarse scan decodes per probed cell,
+#: and the exact f64 re-rank keeps returned similarities exact).
+BLOCK_DTYPES: Tuple[str, ...] = ("fp32", "fp16")
+
 
 @dataclass
 class IVFState:
@@ -74,7 +81,10 @@ class IVFState:
 
     centroids: Optional[np.ndarray]
     lists: List[List[int]]
-    blocks: List[Optional[np.ndarray]]
+    # ``None`` when captured with ``include_blocks=False`` (the tiered
+    # cache's block-free snapshots): restore then allocates exact-size
+    # zeroed blocks and the owner refills live rows from its cold store.
+    blocks: Optional[List[Optional[np.ndarray]]]
     valid: List[Optional[np.ndarray]]
     stale: List[int]
     cell_sums: Optional[np.ndarray]
@@ -99,6 +109,17 @@ class IVFParams:
     between automatic retrainings (auto: ``2·capacity``; the running
     per-cell means track drift in between).  ``seed`` namespaces every
     random draw through :func:`repro._rng.rng_for`.
+
+    ``block_dtype`` — element type of the packed per-cell blocks:
+    ``"fp32"`` (default, the historical layout, bit-identical) or
+    ``"fp16"`` (half the block memory; probed blocks are decoded to f32
+    for the scan, and the exact re-rank keeps returned similarities
+    exact either way).  ``rerank`` — size of the exact-re-rank
+    shortlist: the top-``rerank`` block-scan candidates are re-scored
+    against the f64 matrix and the best *exact* similarity wins.  The
+    default 1 re-scores only the block-scan winner (the historical
+    behavior, preserved bit-for-bit); quantized blocks want a wider
+    shortlist because the fp16 scan can misorder near-ties.
     """
 
     nlist: int = 0
@@ -107,6 +128,8 @@ class IVFParams:
     train_sample: int = 65_536
     train_iters: int = 10
     retrain_inserts: int = 0
+    block_dtype: str = "fp32"
+    rerank: int = 1
     seed: str = "ivf"
 
     def __post_init__(self) -> None:
@@ -122,6 +145,13 @@ class IVFParams:
             raise ValueError("train_iters must be >= 1")
         if self.retrain_inserts < 0:
             raise ValueError("retrain_inserts must be >= 0 (0 = auto)")
+        if self.block_dtype not in BLOCK_DTYPES:
+            raise ValueError(
+                f"unknown block_dtype {self.block_dtype!r}; "
+                f"available: {list(BLOCK_DTYPES)}"
+            )
+        if self.rerank < 1:
+            raise ValueError("rerank must be >= 1")
 
     def resolved_nlist(self, capacity: int) -> int:
         if self.nlist:
@@ -138,6 +168,11 @@ class IVFParams:
         if self.retrain_inserts:
             return self.retrain_inserts
         return 2 * capacity
+
+    def resolved_block_dtype(self) -> np.dtype:
+        if self.block_dtype == "fp16":
+            return np.dtype(np.float16)
+        return np.dtype(np.float32)
 
 
 class IVFIndex:
@@ -174,6 +209,8 @@ class IVFIndex:
         )
         # snap: derived (from params)
         self._retrain_inserts = params.resolved_retrain_inserts(capacity)
+        # snap: derived (from params)
+        self._block_dtype = params.resolved_block_dtype()
         self._centroids: Optional[np.ndarray] = None  # (nlist, d), unit
         self._lists: List[List[int]] = []
         # snap: derived (per-cell memo of _lists; rebuilt lazily)
@@ -243,6 +280,129 @@ class IVFIndex:
         self._inserts_since_train = 0
         self.trainings += 1
 
+    def build_from_chunks(self, chunk_source, n_live: int) -> None:
+        """Train + build cells by streaming ``(slots, rows)`` chunks.
+
+        The bulk counterpart of :meth:`train` for corpora that do not
+        fit in RAM: ``chunk_source()`` must return a *fresh* iterator of
+        ``(slots, rows)`` pairs — an int64 slot array and the matching
+        float64 embedding rows — covering every live slot exactly once
+        in a deterministic order.  Three sequential passes (sample
+        gather, assignment + running sums, block fill) replace the
+        incremental path's full-matrix materialization, so peak memory
+        is one chunk plus the packed blocks.  Deterministic: the k-means
+        sample is drawn by stream position from the same
+        ``rng_for(seed, "ivf-train", trainings)`` stream the incremental
+        path uses.
+        """
+        if n_live < max(2, self.nlist):
+            raise ValueError(
+                f"cannot build: {n_live} live rows < "
+                f"max(2, nlist={self.nlist})"
+            )
+        nlist = self.nlist
+        dim = self._matrix.shape[1]
+        rng = rng_for(self.params.seed, "ivf-train", self.trainings)
+        n_sample = min(n_live, self.params.train_sample)
+        if n_sample < n_live:
+            sample = rng.choice(n_live, size=n_sample, replace=False)
+            sample.sort()
+        else:
+            sample = np.arange(n_live)
+        # Pass 1: gather the training sample by stream position.
+        train_rows = np.empty((n_sample, dim))
+        pos = 0
+        filled = 0
+        for _slots, rows in chunk_source():
+            m = rows.shape[0]
+            take = sample[(sample >= pos) & (sample < pos + m)] - pos
+            if take.size:
+                train_rows[filled : filled + take.size] = rows[take]
+                filled += take.size
+            pos += m
+        if pos != n_live or filled != n_sample:
+            raise ValueError(
+                f"chunk_source yielded {pos} rows, expected {n_live}"
+            )
+        norms = np.sqrt(
+            np.einsum("ij,ij->i", train_rows, train_rows)
+        )
+        norms[norms == 0.0] = 1.0
+        # Bound the training assignment temporary at large nlist: the
+        # default 16k-row chunk against 4096 centroids is a ~0.5 GiB
+        # float64 matrix per Lloyd iteration, real money against the
+        # bulk path's resident-memory budget.  nlist <= 1024 keeps the
+        # default (and its exact historical rounding).
+        self._centroids = _spherical_kmeans(
+            train_rows / norms[:, None],
+            nlist,
+            self.params.train_iters,
+            rng,
+            argmax_chunk=max(
+                1024, min(16_384, (1 << 24) // max(1, nlist))
+            ),
+        )
+        # Pass 2: assign every row, accumulate per-cell counts/sums.
+        self._assign[:] = -1
+        counts = np.zeros(nlist, dtype=np.int64)
+        sums = np.zeros((nlist, dim))
+        # Bound the argmax temporary at ~32 MB regardless of nlist.
+        argmax_chunk = max(1024, (1 << 22) // max(1, nlist))
+        for slots, rows in chunk_source():
+            rnorms = np.sqrt(np.einsum("ij,ij->i", rows, rows))
+            rnorms[rnorms == 0.0] = 1.0
+            assign = _chunked_argmax(
+                rows / rnorms[:, None], self._centroids, argmax_chunk
+            )
+            self._assign[slots] = assign
+            counts += np.bincount(assign, minlength=nlist)
+            np.add.at(sums, assign, rows)
+        # Exact-size blocks (no doubling slack at bulk scale).
+        self._blocks = [
+            np.empty((int(c), dim), dtype=self._block_dtype)
+            if c
+            else None
+            for c in counts
+        ]
+        self._valid = [
+            np.ones(int(c), dtype=bool) if c else None for c in counts
+        ]
+        member_arrays: List[Optional[np.ndarray]] = [
+            np.empty(int(c), dtype=np.int64) if c else None
+            for c in counts
+        ]
+        cursors = np.zeros(nlist, dtype=np.int64)
+        # Pass 3: scatter rows into their cells in stream order.
+        for slots, rows in chunk_source():
+            assign = self._assign[slots]
+            order = np.argsort(assign, kind="stable")
+            cells, starts = np.unique(
+                assign[order], return_index=True
+            )
+            bounds = np.append(starts, order.size)
+            for j in range(cells.size):
+                cell = int(cells[j])
+                grp = order[starts[j] : bounds[j + 1]]
+                cur = int(cursors[cell])
+                stop = cur + grp.size
+                self._blocks[cell][cur:stop] = rows[grp]
+                member_arrays[cell][cur:stop] = slots[grp]
+                cursors[cell] = stop
+        self._lists = [
+            [] if arr is None else arr.tolist()
+            for arr in member_arrays
+        ]
+        for arr in member_arrays:
+            if arr is not None:
+                self._row_of[arr] = np.arange(arr.size)
+        self._list_arrays = list(member_arrays)
+        self._stale = [0] * nlist
+        self._cell_sums = sums
+        self._cell_counts = counts
+        self._coarse_memo = None
+        self._inserts_since_train = 0
+        self.trainings += 1
+
     def _rebuild_cells(
         self, slots: np.ndarray, unit_data: np.ndarray
     ) -> None:
@@ -265,7 +425,7 @@ class IVFIndex:
             self._lists.append(members.tolist())
             if members.size:
                 self._blocks.append(
-                    self._matrix[members].astype(np.float32)
+                    self._matrix[members].astype(self._block_dtype)
                 )
                 self._valid.append(np.ones(members.size, dtype=bool))
             else:
@@ -290,7 +450,7 @@ class IVFIndex:
         if block is None or row >= block.shape[0]:
             grown = np.empty(
                 (max(8, 2 * row), self._matrix.shape[1]),
-                dtype=np.float32,
+                dtype=self._block_dtype,
             )
             valid = np.zeros(grown.shape[0], dtype=bool)
             if block is not None:
@@ -391,7 +551,14 @@ class IVFIndex:
             m = len(self._lists[cell])
             if m == 0:
                 continue
-            sims = self._blocks[cell][:m] @ q32
+            block = self._blocks[cell][:m]
+            if block.dtype != np.float32:
+                # Quantized (fp16) blocks decode per probed cell: numpy
+                # has no BLAS half-precision matvec, so an explicit f32
+                # upcast keeps the scan on the fast path (decode cost is
+                # bounded by the probed fraction, not cache size).
+                block = block.astype(np.float32)
+            sims = block @ q32
             if self._stale[cell]:
                 sims[~self._valid[cell][:m]] = -np.inf
             slot_parts.append(self._cell_members(cell))
@@ -411,9 +578,15 @@ class IVFIndex:
     ) -> Optional[Tuple[int, float]]:
         """Best live slot and its exact similarity, or None.
 
-        Exact f32 similarity ties (identical cached embeddings) break
-        toward the lowest slot id, matching :meth:`search_topk`'s
-        ordering for duplicate entries.
+        With ``rerank == 1`` (the default) only the block-scan winner is
+        re-scored — the historical behavior, bit-for-bit: block-sim ties
+        (identical cached embeddings) break toward the lowest slot id,
+        matching :meth:`search_topk`'s ordering for duplicate entries.
+        With ``rerank > 1`` the top-``rerank`` block candidates (plus
+        any tied at the selection boundary) are re-scored against the
+        f64 matrix and the best *exact* similarity wins (lowest slot id
+        breaking exact ties) — the shortlist that makes a quantized
+        block scan safe against near-tie misordering.
         """
         slots, sims = self._probe(query_unit)
         if slots is None:
@@ -422,8 +595,22 @@ class IVFIndex:
         best_sim = sims[best]
         if best_sim == -np.inf:
             return None  # every probed row tombstoned
-        best_slot = int(slots[sims == best_sim].min())
-        return best_slot, self._exact_sim(best_slot, query_unit)
+        rerank = self.params.rerank
+        if rerank <= 1:
+            best_slot = int(slots[sims == best_sim].min())
+            return best_slot, self._exact_sim(best_slot, query_unit)
+        valid = np.flatnonzero(sims > -np.inf)
+        vsims = sims[valid]
+        r = min(rerank, valid.size)
+        if r < valid.size:
+            kth = vsims[np.argpartition(vsims, -r)[-r:]].min()
+            sel = slots[valid[vsims >= kth]]
+        else:
+            sel = slots[valid]
+        exact = self._matrix[sel] @ query_unit
+        order = np.lexsort((sel, -exact))
+        top = int(order[0])
+        return int(sel[top]), float(exact[top])
 
     def search_topk(
         self, query_unit: np.ndarray, k: int
@@ -442,9 +629,13 @@ class IVFIndex:
         valid = np.flatnonzero(sims > -np.inf)
         if valid.size == 0:
             return []
-        if k < valid.size:
+        # The shortlist is at least ``rerank`` wide so a quantized block
+        # scan cannot silently drop the exact winner (rerank=1 keeps
+        # the historical selection width bit-for-bit).
+        r = max(k, self.params.rerank)
+        if r < valid.size:
             vsims = sims[valid]
-            kth = vsims[np.argpartition(vsims, -k)[-k:]].min()
+            kth = vsims[np.argpartition(vsims, -r)[-r:]].min()
             # >= kth keeps every candidate tied at the selection
             # boundary, so the f64 re-rank — not argpartition's
             # arbitrary tie order — decides which of them survive.
@@ -458,11 +649,16 @@ class IVFIndex:
     # ------------------------------------------------------------------
     # Snapshot / restore / clear
     # ------------------------------------------------------------------
-    def snapshot_state(self) -> IVFState:
+    def snapshot_state(self, include_blocks: bool = True) -> IVFState:
         """Copy every mutable structure except the cache's buffers.
 
         Side-effect-free: no memo builds, no compactions — capturing a
         snapshot must not perturb the live run's future behaviour.
+
+        ``include_blocks=False`` omits the packed block copies (the
+        dominant cost at bulk scale) — the tiered cache's snapshots do
+        this because every block row is reconstructible from its cold
+        store; see :meth:`restore_state`.
         """
         return IVFState(
             centroids=(
@@ -471,10 +667,14 @@ class IVFIndex:
                 else self._centroids.copy()
             ),
             lists=[list(members) for members in self._lists],
-            blocks=[
-                None if block is None else block.copy()
-                for block in self._blocks
-            ],
+            blocks=(
+                [
+                    None if block is None else block.copy()
+                    for block in self._blocks
+                ]
+                if include_blocks
+                else None
+            ),
             valid=[
                 None if valid is None else valid.copy()
                 for valid in self._valid
@@ -498,15 +698,32 @@ class IVFIndex:
 
     def restore_state(self, state: IVFState) -> None:
         """Adopt a snapshot; the matrix/live buffer bindings are kept
-        (the owning cache restores their contents)."""
+        (the owning cache restores their contents).
+
+        A block-free snapshot (``include_blocks=False``) restores to
+        exact-size zeroed blocks; the owner must refill the *valid* rows
+        from its row source afterwards (tombstoned rows may stay zero —
+        the probe masks them to ``-inf`` before they can influence any
+        result, and exact-size blocks only drop doubling slack the
+        search never reads).
+        """
         self._centroids = (
             None if state.centroids is None else state.centroids.copy()
         )
         self._lists = [list(members) for members in state.lists]
-        self._blocks = [
-            None if block is None else block.copy()
-            for block in state.blocks
-        ]
+        if state.blocks is None:
+            dim = self._matrix.shape[1]
+            self._blocks = [
+                np.zeros((len(members), dim), dtype=self._block_dtype)
+                if members
+                else None
+                for members in state.lists
+            ]
+        else:
+            self._blocks = [
+                None if block is None else block.copy()
+                for block in state.blocks
+            ]
         self._valid = [
             None if valid is None else valid.copy()
             for valid in state.valid
@@ -526,6 +743,37 @@ class IVFIndex:
         self.trainings = state.trainings
         self._list_arrays = [None] * len(self._lists)
         self._coarse_memo = None
+
+    def refill_rows(self, slots: np.ndarray, rows: np.ndarray) -> None:
+        """Re-quantize ``rows`` into the packed blocks of ``slots``.
+
+        The second half of a block-free snapshot restore: after
+        :meth:`restore_state` allocated zeroed blocks, the owning cache
+        streams its row source through here and each slot currently
+        assigned to a cell gets its exact row written back (quantized to
+        the block dtype).  Slots with no cell assignment — dead, or
+        inserted while untrained — are skipped.
+        """
+        if not self.trained or slots.size == 0:
+            return
+        cells = self._assign[slots]
+        mask = cells >= 0
+        if not mask.any():
+            return
+        cells = cells[mask]
+        members = slots[mask]
+        data = rows[mask]
+        order = np.argsort(cells, kind="stable")
+        cells_sorted = cells[order]
+        uniq, starts = np.unique(cells_sorted, return_index=True)
+        bounds = np.append(starts, cells_sorted.size)
+        for j in range(uniq.size):
+            cell = int(uniq[j])
+            grp = order[starts[j] : bounds[j + 1]]
+            block = self._blocks[cell]
+            block[self._row_of[members[grp]]] = data[grp].astype(
+                self._block_dtype
+            )
 
     def clear(self) -> None:
         """Back to untrained, keeping the RNG stream position.
@@ -592,6 +840,7 @@ def _spherical_kmeans(
     nlist: int,
     iters: int,
     rng: np.random.Generator,
+    argmax_chunk: int = 16_384,
 ) -> np.ndarray:
     """Unit centroids from unit ``data`` rows via Lloyd iterations.
 
@@ -600,13 +849,17 @@ def _spherical_kmeans(
     With fewer rows than ``nlist`` the surplus centroids reuse sampled
     rows (choice with replacement) — harmless, they converge apart or
     stay duplicates and the probe scan tolerates both.
+    ``argmax_chunk`` bounds the per-iteration assignment temporary
+    (``chunk x nlist`` float64); chunking can perturb BLAS summation
+    order, so callers that must stay bit-identical to history keep the
+    default.
     """
     n = data.shape[0]
     replace = n < nlist
     init = rng.choice(n, size=nlist, replace=replace)
     centroids = data[init].copy()
     for _ in range(iters):
-        assign = _chunked_argmax(data, centroids)
+        assign = _chunked_argmax(data, centroids, argmax_chunk)
         sums = np.zeros_like(centroids)
         np.add.at(sums, assign, data)
         counts = np.bincount(assign, minlength=nlist)

@@ -1097,8 +1097,29 @@ def make_image_cache(
     n_shards: int = 1,
     backend: str = "exact",
     ann: Optional[IVFParams] = None,
+    tiering=None,
 ):
-    """Build an image cache, sharded when ``n_shards > 1``."""
+    """Build an image cache: sharded when ``n_shards > 1``, tiered
+    (quantized hot tier + memmap cold tier, :mod:`repro.core.tiering`)
+    when a ``TieredCacheConfig`` is passed."""
+    if tiering is not None:
+        if n_shards > 1:
+            raise ValueError(
+                "cache tiering and sharding are mutually exclusive "
+                "(the tiered cache is single-matrix by design)"
+            )
+        # Imported lazily: tiering builds on this module's eviction
+        # registry, so a top-level import would be circular.
+        from repro.core.tiering import TieredImageCache
+
+        return TieredImageCache(
+            capacity=capacity,
+            embed_dim=embed_dim,
+            tiering=tiering,
+            policy=policy,
+            backend=backend,
+            ann=ann,
+        )
     if n_shards <= 1:
         return ImageCache(
             capacity=capacity,

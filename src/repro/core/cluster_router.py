@@ -31,6 +31,7 @@ periodic machinery runs on the shared deterministic event loop.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field, replace
 from typing import (
     Callable,
@@ -849,7 +850,10 @@ class ClusterServingSystem:
         Warm restarts restore the last pre-kill cache snapshot (replicas
         with ``MoDMConfig.journal`` set capture them periodically); with
         no snapshot available the restart falls back to cold — an empty
-        cache that must re-learn its semantic neighborhood.
+        cache that must re-learn its semantic neighborhood.  Tiered
+        caches make the warm path cheap at scale: their snapshots are
+        block-free and hot-free, and ``cache.restore`` rebuilds both
+        tiers by streaming the replica's cold-row file once.
         """
         idx = event.replica
         replica = self.replicas[idx]
@@ -1090,6 +1094,17 @@ def modm_cluster(
         )
 
     def factory(i: int) -> MoDMSystem:
+        tiering = config.cache_tiering
+        if tiering is not None and tiering.cold_dir is not None:
+            # Each replica owns a private cold-row file: siblings
+            # sharing one directory would interleave appends and
+            # corrupt each other's block-free snapshots.
+            tiering = replace(
+                tiering,
+                cold_dir=os.path.join(
+                    tiering.cold_dir, f"replica-{i}"
+                ),
+            )
         return MoDMSystem(
             space,
             replace(
@@ -1098,6 +1113,7 @@ def modm_cluster(
                     config.cluster, n_workers=workers[i]
                 ),
                 cache_capacity=capacities[i],
+                cache_tiering=tiering,
             ),
         )
 

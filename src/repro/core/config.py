@@ -9,6 +9,7 @@ from typing import Optional, Tuple
 from repro._rng import seed_for
 from repro.core.ann import RETRIEVAL_BACKENDS
 from repro.core.cache import EVICTION_POLICIES
+from repro.core.tiering import TieredCacheConfig
 from repro.diffusion.registry import GPU_SPECS
 
 
@@ -347,6 +348,16 @@ class MoDMConfig:
     keeps the engine's decisions bit-for-bit identical to the policy-free
     engine.
 
+    ``cache_tiering`` opts into the tiered cache
+    (:mod:`repro.core.tiering`): a quantized fp16 scan tier, a small
+    RAM-resident hot tier, and a memmap cold tier holding every exact
+    embedding — the ten-million-entry layout.  ``None`` — the default —
+    keeps the flat single-matrix cache bit-for-bit.  Tiering requires
+    ``retrieval_backend="ivf"`` (the scan tier *is* the IVF blocks),
+    ``cache_shards=1``, and ``cache_policy="fifo"`` (capacity eviction
+    is a FIFO ring; the tiering config's ``tier_policy`` is what drives
+    hot-tier demotion).
+
     ``image_id_len_cap`` bounds image-id lineage growth: a refined
     image's id embeds its source's full id, so under cache admission
     policies that re-admit refined outputs the ids (and the memo keys
@@ -382,6 +393,7 @@ class MoDMConfig:
     slo: Optional[SLOPolicy] = None
     image_id_len_cap: Optional[int] = None
     journal: Optional[JournalConfig] = None
+    cache_tiering: Optional[TieredCacheConfig] = None
 
     def __post_init__(self) -> None:
         if not self.small_models:
@@ -419,3 +431,20 @@ class MoDMConfig:
             raise ValueError("embed_latency_s must be non-negative")
         if self.image_id_len_cap is not None and self.image_id_len_cap < 1:
             raise ValueError("image_id_len_cap must be >= 1 (or None)")
+        if self.cache_tiering is not None:
+            if self.retrieval_backend != "ivf":
+                raise ValueError(
+                    "cache_tiering requires retrieval_backend='ivf' "
+                    "(the quantized scan tier is the IVF blocks)"
+                )
+            if self.cache_shards != 1:
+                raise ValueError(
+                    "cache_tiering requires cache_shards=1 (tiering "
+                    "and sharding are mutually exclusive)"
+                )
+            if self.cache_policy != "fifo":
+                raise ValueError(
+                    "cache_tiering requires cache_policy='fifo' "
+                    "(capacity eviction is a FIFO ring; use "
+                    "cache_tiering.tier_policy for hot-tier demotion)"
+                )

@@ -58,7 +58,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     KILL,  # cluster: a replica was killed
     RESTART,  # cluster: a replica was restarted
     TRANSFER,  # cluster: the autoscaler moved a worker
-) = range(11)
+    PROMOTE,  # tiered cache: an entry's row was promoted to the hot tier
+    DEMOTE,  # tiered cache: an entry's row was demoted to cold-only
+) = range(13)
 
 KIND_NAMES: Tuple[str, ...] = (
     "arrival",
@@ -72,6 +74,8 @@ KIND_NAMES: Tuple[str, ...] = (
     "kill",
     "restart",
     "transfer",
+    "promote",
+    "demote",
 )
 
 

@@ -11,7 +11,13 @@ workers; its latency (~0.06 s at 100k entries) is charged to the request,
 not to a worker.  The scan itself is the cache's pluggable retrieval
 backend (``config.retrieval_backend``): the exact masked-argmax path, or
 the IVF approximate index whose sublinear probe cost flows into the
-charged scheduler latency through ``cache.retrieval_latency_s()``.
+charged scheduler latency through ``cache.retrieval_latency_s()``.  A
+tiered cache (``config.cache_tiering``) extends that model further:
+shortlist candidates whose rows live in the memmap cold tier charge
+:data:`~repro.core.tiering.COLD_FETCH_UNITS` entry-scans each for the
+page fault, so a mostly-cold cache admits with honestly higher modelled
+latency than a hot one of the same occupancy — results are unaffected
+(hot rows are exact copies of cold rows).
 """
 
 from __future__ import annotations

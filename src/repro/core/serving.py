@@ -49,7 +49,9 @@ from repro.core.journal import (
     ARRIVAL,
     COMPLETE,
     DECISION,
+    DEMOTE,
     DISPATCH,
+    PROMOTE,
     SHED,
     SNAPSHOT,
     EventJournal,
@@ -1091,7 +1093,13 @@ class MoDMSystem(BaseServingSystem):
                 train_min=config.ann_train_min,
                 seed=config.seed,
             ),
+            tiering=config.cache_tiering,
         )
+        if hasattr(self.cache, "on_tier_event"):
+            # Tiered cache: journal promotions/demotions.  The callback
+            # reads self._journal at fire time, so it survives both
+            # _reset_runtime and Snapshot.restore rebinding the journal.
+            self.cache.on_tier_event = self._journal_tier_event
         base_selector = selector or modm_default_selector()
         if config.threshold_shift:
             base_selector = base_selector.shifted(config.threshold_shift)
@@ -1217,6 +1225,23 @@ class MoDMSystem(BaseServingSystem):
         if record.decision is None:
             return 0.0
         return 1.0 - record.decision.skip_fraction
+
+    def _journal_tier_event(
+        self, now: float, kind: str, slot: int, entry_id: int
+    ) -> None:
+        """Tiered-cache hook: journal a promotion/demotion.
+
+        Tier moves never change retrieval results (hot rows are exact
+        copies of cold rows), but they do change the modelled retrieval
+        latency, so the journal records them for replay audits.
+        """
+        if self._journal is not None:
+            self._journal.append(
+                now,
+                PROMOTE if kind == "promote" else DEMOTE,
+                a=entry_id,
+                b=slot,
+            )
 
     def _apply_allocation(self, allocation: Allocation, now: float) -> None:
         if self._journal is not None:
