@@ -4,10 +4,14 @@ Deterministic and gating in CI at smoke scale: killing 1 of 4 replicas
 mid-trace must lose zero requests (orphans re-route across survivors),
 and a warm restart (cache restored from the replica's last periodic
 snapshot) must recover at least 90% of the pre-kill hit rate while a
-cold restart measurably does not.  The JSON twin of the result table is
-written unconditionally (``benchmarks/results/fault_tolerance.json`` +
-repo-root ``BENCH_fault_tolerance.json``) so the recovery numbers are
-recorded for every PR alongside ``BENCH_cluster_routing.json``.
+cold restart measurably does not.  The cascade rows kill 2 of 4
+replicas at once (rack-style fate sharing) and pin cache migration:
+survivors adopting the dead replicas' cache shards
+(``nearest_centroid``) must beat dropping them cold over the recovery
+window.  The JSON twin of the result table is written unconditionally
+(``benchmarks/results/fault_tolerance.json`` + repo-root
+``BENCH_fault_tolerance.json``) so the recovery numbers are recorded
+for every PR alongside ``BENCH_cluster_routing.json``.
 """
 
 import _output
@@ -23,7 +27,13 @@ def test_fault_tolerance(benchmark, ctx):
         also_root="BENCH_fault_tolerance.json",
     )
     rows = {r["mode"]: r for r in result.rows}
-    assert set(rows) == {"none", "cold", "warm"}
+    assert set(rows) == {
+        "none",
+        "cold",
+        "warm",
+        "cascade-drop",
+        "cascade-migrate",
+    }
 
     # Conservation: no mode ever loses a request — every arrival either
     # completes or is shed, and killed replicas' orphans are re-routed.
@@ -45,3 +55,13 @@ def test_fault_tolerance(benchmark, ctx):
     assert warm["hit_rate_after"] >= 0.9 * warm["hit_rate_before"]
     cold_after = cold["hit_rate_after"]
     assert cold_after is None or cold_after < warm["hit_rate_after"]
+
+    # Cascade acceptance: both fate-shared replicas die, nothing is
+    # lost, and survivors adopting the dead caches strictly beat
+    # dropping them over the recovery window after the kill.
+    drop, migrate = rows["cascade-drop"], rows["cascade-migrate"]
+    for row in (drop, migrate):
+        assert row["n_killed"] == 2
+    assert drop["n_migrated"] == 0
+    assert migrate["n_migrated"] > 0
+    assert migrate["hit_rate_migrated"] > drop["hit_rate_migrated"]

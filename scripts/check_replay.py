@@ -14,9 +14,16 @@ payload digests go through ``repro.analysis._cli`` so this gate, the
 seed-golden gate, and the invariant analyzer all fail in the same
 format.
 
+``--suffix`` gates the stronger property: the journal is a *sufficient*
+record.  The restored system gets no arrival timeline at all
+(``install_timeline=False``) — a :class:`~repro.core.journal
+.JournalReplayer` re-injects the remaining arrival cohorts from the
+reference journal's ARRIVAL suffix alone, and the regenerated journal
+must equal the reference row for row on top of the payload match.
+
 Usage (repo root)::
 
-    PYTHONPATH=src python scripts/check_replay.py [--out FRESH.json]
+    PYTHONPATH=src python scripts/check_replay.py [--suffix] [--out FRESH.json]
 
 Exit status: 0 when the resumed payload matches the uninterrupted one
 byte for byte, 1 otherwise (with a unified diff of the two payloads).
@@ -36,6 +43,7 @@ from repro.analysis._cli import (
     write_text,
 )
 from repro.core.config import ClusterConfig, JournalConfig, MoDMConfig
+from repro.core.journal import JournalReplayer
 from repro.core.serving import MoDMSystem
 from repro.embedding.space import SemanticSpace
 from repro.workloads import DiffusionDBConfig, diffusiondb_trace
@@ -73,8 +81,15 @@ def _payload(report, system) -> dict:
     }
 
 
-def run_gate() -> tuple:
-    """(uninterrupted payload, resumed payload) for one seeded trace."""
+def run_gate(suffix: bool = False) -> tuple:
+    """(uninterrupted payload, resumed payload) for one seeded trace.
+
+    With ``suffix=True`` the restored system is driven forward by a
+    :class:`JournalReplayer` from the reference journal's ARRIVAL rows
+    instead of a reinstalled trace timeline, and the replayer's
+    ``verify()`` additionally demands the regenerated journal equal the
+    reference row for row.
+    """
     space = SemanticSpace()
     trace = diffusiondb_trace(
         space,
@@ -96,8 +111,16 @@ def run_gate() -> tuple:
 
     snapshot = straight.snapshots[len(straight.snapshots) // 2]
     resumed = MoDMSystem(space, _config())
-    snapshot.restore(resumed)
-    resumed_report = resumed.resume(trace)
+    if suffix:
+        snapshot.restore(resumed, install_timeline=False)
+        replayer = JournalReplayer(
+            resumed, straight._journal.entries()
+        )
+        resumed_report = replayer.replay(trace_name=trace.name)
+        replayer.verify()
+    else:
+        snapshot.restore(resumed)
+        resumed_report = resumed.resume(trace)
     resumed_payload = _payload(resumed_report, resumed)
     return straight_payload, resumed_payload, snapshot.time_s
 
@@ -109,25 +132,45 @@ def main(argv=None) -> int:
         default=None,
         help="also write the uninterrupted payload here (JSON)",
     )
+    parser.add_argument(
+        "--suffix",
+        action="store_true",
+        help=(
+            "drive the restored run from the journal's ARRIVAL suffix "
+            "instead of the trace timeline (journal-sufficiency gate)"
+        ),
+    )
     args = parser.parse_args(argv)
 
-    straight, resumed, snap_time = run_gate()
+    gate = f"{GATE}-suffix" if args.suffix else GATE
+    straight, resumed, snap_time = run_gate(suffix=args.suffix)
     straight_text = render_payload(straight)
     resumed_text = render_payload(resumed)
     if args.out:
         write_text(args.out, straight_text)
     if straight_text == resumed_text:
+        how = (
+            "replayed bit-identically from the journal suffix"
+            if args.suffix
+            else "resumed bit-identically"
+        )
         return gate_ok(
-            GATE,
+            gate,
             f"run restored from the t={snap_time:.1f}s snapshot "
-            "resumed bit-identically (journal digest "
+            f"{how} (journal digest "
             f"{straight['journal_digest'][:16]}...)",
         )
     return gate_fail(
-        GATE,
-        "restoring a snapshot and resuming did not reproduce the "
-        "uninterrupted run.  Snapshot/restore is losing state "
-        "somewhere (see the diff above).",
+        gate,
+        "restoring a snapshot and "
+        + (
+            "replaying the journal suffix"
+            if args.suffix
+            else "resuming"
+        )
+        + " did not reproduce the uninterrupted run.  "
+        "Snapshot/restore is losing state somewhere (see the diff "
+        "above).",
         diff=(
             straight_text,
             resumed_text,

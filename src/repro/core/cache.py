@@ -787,6 +787,28 @@ class VectorCache(Generic[PayloadT]):
         if self._index is not None:
             self._index.clear()
 
+    def snapshot_entries(
+        self, state: "VectorCacheState"
+    ) -> List[tuple]:
+        """``(entry_id, payload, embedding, inserted_at)`` per entry of
+        a snapshot, ascending entry id (the cache-migration surface:
+        deterministic order, no slot/index internals exposed)."""
+        return sorted(
+            (
+                (entry_id, payload, embedding, inserted_at)
+                for (
+                    _slot,
+                    entry_id,
+                    payload,
+                    embedding,
+                    inserted_at,
+                    _hits,
+                    _last_hit_at,
+                ) in state.entries
+            ),
+            key=lambda item: item[0],
+        )
+
 
 @dataclass
 class VectorCacheState:
@@ -1080,6 +1102,17 @@ class ShardedVectorCache(Generic[PayloadT]):
             shard.clear()
         self._next_shard = 0
         self._shard_of = {}
+
+    def snapshot_entries(
+        self, state: ShardedCacheState
+    ) -> List[tuple]:
+        """Merged ``(entry_id, payload, embedding, inserted_at)`` across
+        shards, ascending entry id (the cache-migration surface)."""
+        merged: List[tuple] = []
+        for shard, shard_state in zip(self._shards, state.shard_states):
+            merged.extend(shard.snapshot_entries(shard_state))
+        merged.sort(key=lambda item: item[0])
+        return merged
 
 
 class ImageCache(VectorCache[SyntheticImage]):

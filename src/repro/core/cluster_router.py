@@ -34,6 +34,7 @@ import math
 import os
 from dataclasses import dataclass, field, replace
 from typing import (
+    Any,
     Callable,
     Dict,
     List,
@@ -49,15 +50,23 @@ from repro.cluster.events import EventLoop
 from repro.cluster.stats import StatsCollector
 from repro.core.config import (
     ClusterRoutingConfig,
+    MIGRATION_POLICIES,
     MoDMConfig,
     ROUTING_POLICIES,
 )
 from repro.core.journal import (
+    ARRIVAL,
     KILL,
+    MIGRATE,
     RESTART,
     ROUTE,
+    SNAPSHOT,
     TRANSFER,
     EventJournal,
+    ReplicaState,
+    _copy_store,
+    _HEAP_KINDS,
+    _replica_fingerprint,
 )
 from repro.core.monitor import estimate_workloads
 from repro.core.pid import PIDController
@@ -113,6 +122,21 @@ class RoutingPolicy:
     def reset(self) -> None:
         """Clear per-run state (round-robin counters)."""
 
+    def snapshot_state(self) -> object:
+        """Opaque per-run policy state for fleet snapshots.
+
+        Stateless policies return ``None``; stateful ones (round-robin
+        cursors) override both this and :meth:`restore_state`.
+        """
+        return None
+
+    def restore_state(self, state: object) -> None:
+        if state is not None:
+            raise ValueError(
+                f"policy {self.name!r} is stateless but the snapshot "
+                f"carries state {state!r}"
+            )
+
     def route(
         self,
         query: Optional[np.ndarray],
@@ -152,6 +176,12 @@ class RoundRobinRouting(RoutingPolicy):
 
     def reset(self) -> None:
         self._next = 0
+
+    def snapshot_state(self) -> object:
+        return self._next
+
+    def restore_state(self, state: object) -> None:
+        self._next = int(state)
 
     def route(self, query, loads, centroids) -> int:
         idx = self._next % len(loads)
@@ -272,6 +302,92 @@ def make_routing_policy(config: ClusterRoutingConfig) -> RoutingPolicy:
             f"available: {sorted(ROUTING_POLICY_REGISTRY)}"
         ) from None
     return cls.from_config(config)
+
+
+# ----------------------------------------------------------------------
+# Cache migration policies
+# ----------------------------------------------------------------------
+# A migration policy assigns each entry of a dead replica's last cache
+# snapshot to a surviving replica: ``fn(entries, survivors, replicas)``
+# -> one fleet index per entry, where ``entries`` is the deterministic
+# ``snapshot_entries`` list ((entry_id, payload, embedding,
+# inserted_at), ascending id) and ``survivors`` the ascending live
+# fleet indices.  Policies must be pure functions of their arguments —
+# assignments are journaled and replayed.
+MigrationPolicy = Callable[
+    [Sequence[tuple], Sequence[int], Sequence[BaseServingSystem]],
+    List[int],
+]
+
+MIGRATION_POLICY_REGISTRY: Dict[str, MigrationPolicy] = {}
+
+
+def register_migration_policy(name: str):
+    """Decorator adding a migration policy function to the registry."""
+
+    def decorate(fn: MigrationPolicy) -> MigrationPolicy:
+        MIGRATION_POLICY_REGISTRY[name] = fn
+        return fn
+
+    return decorate
+
+
+@register_migration_policy("none")
+def _migrate_none(entries, survivors, replicas) -> List[int]:
+    """Historical default: the dead replica's cache is dropped.
+
+    Registered for registry completeness; the kill path short-circuits
+    before extraction when the policy is ``none``, so this only runs if
+    called directly.
+    """
+    return []
+
+
+@register_migration_policy("round_robin")
+def _migrate_round_robin(entries, survivors, replicas) -> List[int]:
+    """Deal entries across survivors in turn (ascending fleet index)."""
+    return [
+        survivors[i % len(survivors)] for i in range(len(entries))
+    ]
+
+
+@register_migration_policy("nearest_centroid")
+def _migrate_nearest_centroid(entries, survivors, replicas) -> List[int]:
+    """Send each entry to the survivor whose cache sketch is nearest.
+
+    Scores each entry's embedding against the survivors' *pre-kill*
+    centroid sketches (read once, before any adoption shifts them) with
+    the same scorer affinity routing uses, so migrated entries land
+    where future affinity-routed requests will look for them.  Strict
+    ``>`` keeps the lowest survivor index on ties; entries with a zero
+    embedding or sketchless survivors fall back to round-robin by
+    entry position.
+    """
+    sketches = [
+        ClusterRouter._centroid(replicas[idx]) for idx in survivors
+    ]
+    assignment: List[int] = []
+    for position, (_entry_id, _payload, embedding, _at) in enumerate(
+        entries
+    ):
+        query = np.asarray(embedding, dtype=np.float64)
+        qnorm = math.sqrt(float(np.dot(query, query)))
+        best = -1
+        best_sim = -math.inf
+        if qnorm > 0.0:
+            for j, sketch in enumerate(sketches):
+                if sketch is None:
+                    continue
+                sim = CacheAffinityRouting._sketch_similarity(
+                    query, qnorm, sketch
+                )
+                if sim > best_sim:
+                    best = j
+                    best_sim = sim
+        if best < 0:
+            best = position % len(survivors)
+        assignment.append(survivors[best])
+    return assignment
 
 
 # ----------------------------------------------------------------------
@@ -431,9 +547,9 @@ class ReplicaAutoscaler:
     ):
         if not initial_counts:
             raise ValueError("need at least one replica")
-        self._config = config
-        self._total = sum(initial_counts)
-        self._min = config.min_workers_per_replica
+        self._config = config  # snap: derived
+        self._total = sum(initial_counts)  # snap: derived
+        self._min = config.min_workers_per_replica  # snap: derived
         if self._min * len(initial_counts) > self._total:
             raise ValueError(
                 f"min_workers_per_replica={self._min} x "
@@ -453,6 +569,22 @@ class ReplicaAutoscaler:
     @property
     def total_workers(self) -> int:
         return self._total
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """PID and smoothed-split state for fleet snapshots."""
+        return {
+            "smooth": list(self._smooth),
+            "pids": [pid.snapshot_state() for pid in self._pids],
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        if len(state["smooth"]) != len(self._smooth):
+            raise ValueError(
+                "autoscaler snapshot replica-count mismatch"
+            )
+        self._smooth = [float(v) for v in state["smooth"]]
+        for pid, pid_state in zip(self._pids, state["pids"]):
+            pid.restore_state(pid_state)
 
     def replica_demand(
         self, replica: BaseServingSystem, now: float
@@ -523,6 +655,8 @@ class FailureRecord:
     ``restart + window`` respectively — the before/after pair the warm
     vs. cold restart comparison reads.  ``recovery_latency_s`` is the
     time from the kill to the restarted replica's first completion.
+    ``n_migrated`` counts cache entries survivors adopted from this
+    replica's last snapshot (0 under ``migration_policy="none"``).
     """
 
     time_s: float
@@ -533,6 +667,7 @@ class FailureRecord:
     warm: bool = False
     hit_rate_after: Optional[float] = None
     recovery_latency_s: Optional[float] = None
+    n_migrated: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -660,6 +795,12 @@ class ClusterServingSystem:
         self._fleet_state: Optional[_FleetState] = None
         self._failures: List[FailureRecord] = []
         self.journal: Optional[EventJournal] = None
+        self.snapshots: List["ClusterSnapshot"] = []
+        #: plan time -> failure-event indices firing at that instant
+        self._failure_schedule: Dict[float, List[int]] = {}
+        #: probe time -> FailureRecord indices measured at that instant
+        self._probe_schedule: Dict[float, List[int]] = {}
+        self._next_snapshot_s = -1.0
 
     def _make_autoscaler(self) -> None:
         """Fresh autoscaler state (PID, smoothed split) for a run."""
@@ -704,9 +845,16 @@ class ClusterServingSystem:
         self._failures = []
         self.journal = (
             EventJournal()
-            if self.routing.failures is not None
+            if (
+                self.routing.failures is not None
+                or self.routing.journal
+            )
             else None
         )
+        self.snapshots = []
+        self._failure_schedule = {}
+        self._probe_schedule = {}
+        self._next_snapshot_s = -1.0
         self.router.reset()
         # Rebuild the autoscaler so a second run starts from the
         # configured split, not the previous run's PID state.
@@ -725,57 +873,99 @@ class ClusterServingSystem:
         # fired from the loop's timeline lane.
         records = self.request_store.extend(list(trace))
         self.records = records
-        if records:
-            arrivals = self.request_store.column("arrival_s")
-            starts = np.flatnonzero(
-                np.concatenate(([True], arrivals[1:] != arrivals[:-1]))
-            )
-            bounds = np.append(starts, len(records)).tolist()
-            if np.any(arrivals[1:] < arrivals[:-1]):
-                for i in range(len(starts)):
-                    self._schedule_batch(
-                        records[bounds[i] : bounds[i + 1]]
-                    )
-            else:
-
-                def fire_cohort(now: float, i: int) -> None:
-                    self._arrive_batch(
-                        records[bounds[i] : bounds[i + 1]], now
-                    )
-
-                loop.schedule_timeline(arrivals[starts], fire_cohort)
+        self._install_trace_timeline(records)
         for replica in self.replicas:
             replica._on_run_start()
         if self.routing.failures is not None:
-            for event in self.routing.failures.events:
-                if event.action == "kill":
-                    loop.schedule(
-                        event.time_s,
-                        lambda now, e=event: self._fail_kill(
-                            e.replica, now
-                        ),
-                    )
-                else:
-                    loop.schedule(
-                        event.time_s,
-                        lambda now, e=event: self._fail_restart(
-                            e, now
-                        ),
-                    )
+            # One heap entry per distinct plan time, carrying a bound
+            # method instead of per-event closures — fleet snapshots
+            # capture it by kind and re-bind on restore.
+            for index, event in enumerate(
+                self.routing.failures.events
+            ):
+                self._failure_schedule.setdefault(
+                    event.time_s, []
+                ).append(index)
+            for time_s in sorted(self._failure_schedule):
+                loop.schedule(time_s, self._failure_tick)
         if self._autoscaler is not None:
             loop.schedule_in(
                 self.routing.autoscale_period_s, self._autoscale_tick
             )
+        if (
+            self.journal is not None
+            and self.routing.snapshot_period_s > 0.0
+        ):
+            self._schedule_cluster_snapshot()
         loop.run(until=until)
         return self._build_report(trace)
+
+    def resume(
+        self, trace: Trace, until: Optional[float] = None
+    ) -> ClusterReport:
+        """Finish a restored run (see :class:`ClusterSnapshot`).
+
+        ``trace`` supplies only the report's trace name — the restored
+        store already holds every request row, so a
+        ``journal._TraceStub`` works as well as the original trace.
+        """
+        self.loop.run(until=until)
+        return self._build_report(trace)
+
+    def _install_trace_timeline(
+        self, records: Sequence[RequestRecord]
+    ) -> None:
+        """Cohort the store's arrivals onto the shared timeline lane.
+
+        ``records`` must be the fleet store's full row list (both
+        callers — ``run`` and ``ClusterSnapshot.restore`` — pass it).
+        Out-of-order traces fall back to per-cohort heap closures and
+        are therefore not fleet-snapshottable, matching the single
+        engine's rule.
+        """
+        if not records:
+            return
+        arrivals = self.request_store.column("arrival_s")
+        starts = np.flatnonzero(
+            np.concatenate(([True], arrivals[1:] != arrivals[:-1]))
+        )
+        bounds = np.append(starts, len(records)).tolist()
+        if np.any(arrivals[1:] < arrivals[:-1]):
+            for i in range(len(starts)):
+                self._schedule_batch(records[bounds[i] : bounds[i + 1]])
+        else:
+
+            def fire_cohort(now: float, i: int) -> None:
+                self._arrive_cohort(
+                    records[bounds[i] : bounds[i + 1]], now
+                )
+
+            self.loop.schedule_timeline(arrivals[starts], fire_cohort)
 
     def _schedule_batch(self, batch: List[RequestRecord]) -> None:
         self.loop.schedule(
             batch[0].arrival_s,
-            lambda now, recs=tuple(batch): self._arrive_batch(
+            lambda now, recs=tuple(batch): self._arrive_cohort(
                 recs, now
             ),
         )
+
+    def _arrive_cohort(
+        self, records: Sequence[RequestRecord], now: float
+    ) -> None:
+        """Deliver one trace arrival cohort, journaling it first.
+
+        ARRIVAL rows make the cluster journal a sufficient record for
+        journal-suffix replay (:class:`repro.core.journal
+        .JournalReplayer`); orphan re-routes call
+        :meth:`_arrive_batch` directly, so replay can tell trace
+        cohorts from failure-induced re-routes.
+        """
+        if self.journal is not None and records:
+            self.journal.append(
+                now, ARRIVAL, a=records[0].request_id, b=len(records)
+            )
+        self._arrive_batch(records, now)
 
     def _arrive_batch(
         self, records: Sequence[RequestRecord], now: float
@@ -819,30 +1009,132 @@ class ClusterServingSystem:
     # ------------------------------------------------------------------
     # Failure injection
     # ------------------------------------------------------------------
-    def _fail_kill(self, idx: int, now: float) -> None:
-        """Kill replica ``idx``: re-route its orphans as fresh arrivals.
+    def _failure_tick(self, now: float) -> None:
+        """Fire every failure-plan event scheduled for this instant.
 
-        Orphans keep their original ``arrival_s``, so their measured
-        latency spans the failure — re-routing hides no recovery cost.
+        Same-instant events dispatch in plan order, exactly as the
+        per-event heap entries they replace did.
         """
-        replica = self.replicas[idx]
-        if replica._dead:
-            return
+        events = self.routing.failures.events
+        for index in self._failure_schedule.pop(now, []):
+            event = events[index]
+            if event.action == "kill":
+                self._fail_kill(event.replica, now)
+            else:
+                self._fail_restart(event, now)
+
+    def _fate_shared(self, idx: int) -> List[int]:
+        """``idx`` plus every replica fate-sharing a group with it.
+
+        Deterministic order: the seed replica first, then group members
+        lowest index first, breadth-first across transitively linked
+        groups (a replica in two racks takes both down).
+        """
+        plan = self.routing.failures
+        doomed: List[int] = []
+        frontier = [idx]
+        while frontier:
+            victim = frontier.pop(0)
+            if victim in doomed:
+                continue
+            doomed.append(victim)
+            for group in plan.fate_groups:
+                if victim in group:
+                    frontier.extend(sorted(group))
+        return doomed
+
+    def _fail_kill(self, idx: int, now: float) -> None:
+        """Kill replica ``idx`` and everything fate-shared with it.
+
+        Three phases, so correlated kills interact sensibly: every
+        doomed replica halts first (orphans keep their original
+        ``arrival_s`` — re-routing hides no recovery cost), then each
+        dead replica's last cache snapshot migrates to the replicas
+        that actually survived the whole group, then all orphans
+        re-route in one batch over those survivors.
+        """
+        doomed = self._fate_shared(idx)
         window = self.routing.failures.recovery_window_s
-        hit_before = replica.stats.window(now, window).hit_rate
-        orphans = replica._halt(now)
-        self._failures.append(
-            FailureRecord(
+        killed: List[FailureRecord] = []
+        orphans: List[RequestRecord] = []
+        for victim in doomed:
+            replica = self.replicas[victim]
+            if replica._dead:
+                continue
+            hit_before = replica.stats.window(now, window).hit_rate
+            victim_orphans = replica._halt(now)
+            record = FailureRecord(
                 time_s=now,
-                replica=idx,
-                n_rerouted=len(orphans),
+                replica=victim,
+                n_rerouted=len(victim_orphans),
                 hit_rate_before=hit_before,
             )
-        )
-        if self.journal is not None:
-            self.journal.append(now, KILL, a=idx, b=len(orphans))
+            self._failures.append(record)
+            if self.journal is not None:
+                self.journal.append(
+                    now, KILL, a=victim, b=len(victim_orphans)
+                )
+            killed.append(record)
+            orphans.extend(victim_orphans)
+        if self.routing.migration_policy != "none":
+            for record in killed:
+                record.n_migrated = self._migrate_cache(
+                    record.replica, now
+                )
         if orphans:
             self._arrive_batch(orphans, now)
+
+    def _migrate_cache(self, dead_idx: int, now: float) -> int:
+        """Survivors adopt the dead replica's last cache snapshot.
+
+        Entries come out of the snapshot in ascending-id order
+        (``cache.snapshot_entries``), the configured
+        :data:`MIGRATION_POLICY_REGISTRY` policy assigns each one a
+        surviving replica, and adoption re-inserts them with their
+        *original* ``inserted_at`` so staleness and eviction order
+        treat adopted entries by true age.  One MIGRATE row per
+        adopting survivor journals the transfer.  Returns the number
+        of entries migrated.
+        """
+        replica = self.replicas[dead_idx]
+        cache = getattr(replica, "cache", None)
+        snaps = getattr(replica, "_cache_snapshots", None)
+        if cache is None or not snaps:
+            return 0
+        entries = cache.snapshot_entries(snaps[-1][1])
+        if not entries:
+            return 0
+        survivors = [
+            i
+            for i, r in enumerate(self.replicas)
+            if not r._dead and getattr(r, "cache", None) is not None
+        ]
+        if not survivors:
+            return 0
+        assignment = MIGRATION_POLICY_REGISTRY[
+            self.routing.migration_policy
+        ](entries, survivors, self.replicas)
+        counts = {i: 0 for i in survivors}
+        for (_entry_id, payload, embedding, inserted_at), dst in zip(
+            entries, assignment
+        ):
+            self.replicas[dst].cache.insert(
+                payload, embedding, inserted_at
+            )
+            counts[dst] += 1
+        migrated = 0
+        for dst in survivors:
+            if counts[dst]:
+                migrated += counts[dst]
+                if self.journal is not None:
+                    self.journal.append(
+                        now,
+                        MIGRATE,
+                        a=dst,
+                        b=counts[dst],
+                        x=float(dead_idx),
+                    )
+        return migrated
 
     def _fail_restart(self, event, now: float) -> None:
         """Restart replica ``event.replica``, warm when a snapshot exists.
@@ -865,12 +1157,14 @@ class ClusterServingSystem:
             if snaps:
                 cache_state = snaps[-1][1]
         replica._restart(now, cache_state)
-        record: Optional[FailureRecord] = None
-        for rec in reversed(self._failures):
+        rec_index = -1
+        for i in range(len(self._failures) - 1, -1, -1):
+            rec = self._failures[i]
             if rec.replica == idx and rec.restart_time_s is None:
-                record = rec
+                rec_index = i
                 break
-        if record is not None:
+        if rec_index >= 0:
+            record = self._failures[rec_index]
             record.restart_time_s = now
             record.warm = cache_state is not None
         if self.journal is not None:
@@ -880,16 +1174,54 @@ class ClusterServingSystem:
                 a=idx,
                 b=1 if cache_state is not None else 0,
             )
-        window = self.routing.failures.recovery_window_s
-
-        def probe(pnow: float) -> None:
-            if record is not None:
-                record.hit_rate_after = replica.stats.window(
-                    pnow, window
-                ).hit_rate
-
-        self.loop.schedule(now + window, probe)
+        if rec_index >= 0:
+            # Measure the recovered hit rate one window out, through a
+            # bound method keyed by fire time so pending probes survive
+            # a fleet snapshot/restore.
+            when = now + self.routing.failures.recovery_window_s
+            bucket = self._probe_schedule.get(when)
+            if bucket is None:
+                self._probe_schedule[when] = bucket = []
+                self.loop.schedule(when, self._probe_tick)
+            bucket.append(rec_index)
         replica._dispatch(now)
+
+    def _probe_tick(self, now: float) -> None:
+        """Record post-restart hit rates scheduled for this instant."""
+        window = self.routing.failures.recovery_window_s
+        for index in self._probe_schedule.pop(now, []):
+            rec = self._failures[index]
+            rec.hit_rate_after = self.replicas[
+                rec.replica
+            ].stats.window(now, window).hit_rate
+
+    # ------------------------------------------------------------------
+    # Fleet snapshots
+    # ------------------------------------------------------------------
+    def _schedule_cluster_snapshot(self) -> None:
+        when = self.loop.now + self.routing.snapshot_period_s
+        self._next_snapshot_s = when
+        self.loop.schedule(when, self._cluster_snapshot_tick)
+
+    def _cluster_snapshot_tick(self, now: float) -> None:
+        if now != self._next_snapshot_s:
+            return  # superseded by a restore since scheduling
+        if self.journal is None or (
+            self._fleet_state is not None
+            and self._fleet_state.all_done
+        ):
+            return
+        # Journal the marker and schedule the successor *before* the
+        # capture so the snapshot itself carries both — a restored
+        # fleet keeps snapshotting on the same cadence.
+        self.journal.append(
+            now,
+            SNAPSHOT,
+            a=sum(r._n_completed for r in self.replicas),
+            b=sum(r._n_shed for r in self.replicas),
+        )
+        self._schedule_cluster_snapshot()
+        self.snapshots.append(ClusterSnapshot.capture(self))
 
     # ------------------------------------------------------------------
     # Autoscaling
@@ -1052,6 +1384,256 @@ class ClusterServingSystem:
             n_rerouted=n_rerouted,
             n_lost=n_lost,
         )
+
+
+# ----------------------------------------------------------------------
+# Fleet snapshots
+# ----------------------------------------------------------------------
+# Cluster-owned pending heap events by bound-method name, mirroring
+# journal._HEAP_KINDS for the replica-owned ones: snapshots store
+# (time, owner, kind) and restore re-binds against the fresh fleet.
+_CLUSTER_HEAP_KINDS: Dict[str, str] = {
+    "_autoscale_tick": "autoscale",
+    "_failure_tick": "failure",
+    "_probe_tick": "probe",
+    "_cluster_snapshot_tick": "snapshot",
+}
+
+
+def _cluster_fingerprint(cluster: "ClusterServingSystem") -> str:
+    """Configuration identity a fleet snapshot refuses to cross.
+
+    The frozen routing config's repr pins every cluster knob (policy,
+    failure plan, migration policy, snapshot cadence) and each replica
+    contributes its own configured fingerprint, so a snapshot only
+    restores into a fleet built exactly like the one that captured it.
+    """
+    parts = [
+        type(cluster).__name__,
+        cluster.name,
+        repr(cluster.routing),
+    ]
+    parts.extend(
+        _replica_fingerprint(replica) for replica in cluster.replicas
+    )
+    return "|".join(parts)
+
+
+def _classify_cluster_heap(
+    cluster: "ClusterServingSystem",
+) -> List[Tuple[float, int, str]]:
+    """Pending heap events as ``(time, owner, kind)`` rows.
+
+    ``owner`` is the fleet index of the replica whose bound method is
+    pending, or ``-1`` for cluster-owned machinery.  Owners resolve by
+    identity scan over the replica list, and rows keep the heap's
+    firing order — re-pushing them in sequence with fresh sequence
+    numbers reproduces it exactly.
+    """
+    entries: List[Tuple[float, int, str]] = []
+    for time, _seq, callback in cluster.loop.heap_entries():
+        func = getattr(callback, "__func__", None)
+        owner = getattr(callback, "__self__", None)
+        name = getattr(func, "__name__", "")
+        if owner is cluster and name in _CLUSTER_HEAP_KINDS:
+            entries.append((time, -1, _CLUSTER_HEAP_KINDS[name]))
+            continue
+        kind = _HEAP_KINDS.get(name)
+        owner_idx = -1
+        if kind is not None:
+            for i, replica in enumerate(cluster.replicas):
+                if owner is replica:
+                    owner_idx = i
+                    break
+        if kind is None or owner_idx < 0:
+            raise ValueError(
+                "cannot snapshot fleet: pending event "
+                f"{callback!r} at t={time:.6f} is not a recognised "
+                "cluster or replica event (out-of-order traces are "
+                "not snapshottable)"
+            )
+        entries.append((time, owner_idx, kind))
+    return entries
+
+
+@dataclass
+class ClusterSnapshot:
+    """Full state of a running fleet at one instant.
+
+    The cluster-level analogue of :class:`repro.core.journal.Snapshot`:
+    captures the shared clock/timeline cursor and heap, the fleet
+    store, router policy state, autoscaler PID state, the failure and
+    probe schedules, the cluster journal, and a
+    :class:`~repro.core.journal.ReplicaState` per replica.  ``restore``
+    rebuilds a freshly constructed, identically configured fleet into
+    this exact state so ``resume()`` continues bit-identically; with
+    ``install_timeline=False`` the remaining arrivals are left out and
+    a :class:`~repro.core.journal.JournalReplayer` drives the run
+    forward from the journal suffix instead.
+    """
+
+    time_s: float
+    fingerprint: str
+    tl_idx: int
+    has_timeline: bool
+    heap: List[Tuple[float, int, str]]
+    store: RequestStore
+    expected: int
+    routed_counts: List[int]
+    transfers: List[TransferEvent]
+    failures: List[FailureRecord]
+    failure_schedule: Dict[float, List[int]]
+    probe_schedule: Dict[float, List[int]]
+    policy_state: object
+    autoscaler_state: Optional[Dict[str, Any]]
+    journal_entries: List[Tuple[float, int, int, int, float]]
+    # snap: derived (verification metadata: restore() rebuilds the
+    # journal from journal_entries; kept so replay tooling can
+    # cross-check integrity)
+    journal_digest: str
+    next_snapshot_s: float
+    replica_states: List[ReplicaState]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def capture(
+        cls, cluster: "ClusterServingSystem"
+    ) -> "ClusterSnapshot":
+        loop = cluster.loop
+        journal = cluster.journal
+        return cls(
+            time_s=loop.now,
+            fingerprint=_cluster_fingerprint(cluster),
+            tl_idx=loop.timeline_index,
+            has_timeline=loop._tl_times is not None,
+            heap=_classify_cluster_heap(cluster),
+            store=_copy_store(cluster.request_store),
+            expected=(
+                cluster._fleet_state.expected
+                if cluster._fleet_state is not None
+                else 0
+            ),
+            routed_counts=list(cluster.routed_counts),
+            transfers=list(cluster.transfers),
+            failures=[replace(rec) for rec in cluster._failures],
+            failure_schedule={
+                t: list(v)
+                for t, v in sorted(cluster._failure_schedule.items())
+            },
+            probe_schedule={
+                t: list(v)
+                for t, v in sorted(cluster._probe_schedule.items())
+            },
+            policy_state=cluster.router.policy.snapshot_state(),
+            autoscaler_state=(
+                cluster._autoscaler.snapshot_state()
+                if cluster._autoscaler is not None
+                else None
+            ),
+            journal_entries=(
+                journal.entries() if journal is not None else []
+            ),
+            journal_digest=(
+                journal.digest() if journal is not None else ""
+            ),
+            next_snapshot_s=cluster._next_snapshot_s,
+            replica_states=[
+                ReplicaState.capture(replica)
+                for replica in cluster.replicas
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    def restore(
+        self,
+        cluster: "ClusterServingSystem",
+        install_timeline: bool = True,
+    ) -> None:
+        """Rebuild ``cluster`` into this snapshot's state.
+
+        ``cluster`` must be freshly constructed with the same
+        configuration (enforced via the fingerprint).  With
+        ``install_timeline=False`` the clock jumps to the snapshot
+        instant with no future arrivals scheduled — journal-suffix
+        replay then re-injects them from ARRIVAL rows.
+        """
+        fp = _cluster_fingerprint(cluster)
+        if fp != self.fingerprint:
+            raise ValueError(
+                "fleet snapshot/configuration mismatch:\n"
+                f"  snapshot: {self.fingerprint}\n"
+                f"  cluster:  {fp}"
+            )
+        loop = EventLoop()
+        cluster.loop = loop
+        store = _copy_store(self.store)
+        cluster.request_store = store
+        cluster.records = [
+            RequestRecord._view(store, i) for i in range(len(store))
+        ]
+        cluster.routed_counts = list(self.routed_counts)
+        cluster.transfers = list(self.transfers)
+        cluster._failures = [replace(rec) for rec in self.failures]
+        cluster._failure_schedule = {
+            t: list(v) for t, v in self.failure_schedule.items()
+        }
+        cluster._probe_schedule = {
+            t: list(v) for t, v in self.probe_schedule.items()
+        }
+        cluster.router.reset()
+        cluster.router.policy.restore_state(self.policy_state)
+        cluster._make_autoscaler()
+        if self.autoscaler_state is not None:
+            if cluster._autoscaler is None:
+                raise ValueError(
+                    "snapshot carries autoscaler state but the fleet "
+                    "has no autoscaler"
+                )
+            cluster._autoscaler.restore_state(self.autoscaler_state)
+        cluster.journal = (
+            EventJournal.from_entries(self.journal_entries)
+            if (
+                cluster.routing.failures is not None
+                or cluster.routing.journal
+            )
+            else None
+        )
+        cluster._next_snapshot_s = self.next_snapshot_s
+        cluster.snapshots = []
+        fleet = _FleetState(self.expected, cluster.replicas)
+        cluster._fleet_state = fleet
+        # Replica worker ids come back from the state tuples already
+        # fleet-offset (and possibly autoscaler-moved), so restore never
+        # calls _offset_worker_ids.
+        for replica, state in zip(
+            cluster.replicas, self.replica_states
+        ):
+            replica._reset_runtime()
+            replica.loop = loop
+            replica._fleet = fleet
+            state.restore(replica, store)
+        # Reinstall the arrival timeline while the fresh clock is still
+        # at zero, then jump clock and cursor to the snapshot instant.
+        if install_timeline and self.has_timeline and cluster.records:
+            cluster._install_trace_timeline(cluster.records)
+            loop.restore_clock(self.time_s, self.tl_idx)
+        else:
+            loop.restore_clock(self.time_s, 0)
+        replica_handlers = {
+            kind: name for name, kind in _HEAP_KINDS.items()
+        }
+        cluster_handlers = {
+            kind: name for name, kind in _CLUSTER_HEAP_KINDS.items()
+        }
+        for time, owner_idx, kind in self.heap:
+            if owner_idx < 0:
+                handler = getattr(cluster, cluster_handlers[kind])
+            else:
+                handler = getattr(
+                    cluster.replicas[owner_idx],
+                    replica_handlers[kind],
+                )
+            loop.schedule(time, handler)
 
 
 # ----------------------------------------------------------------------

@@ -218,14 +218,83 @@ class FailurePlan:
     ``recovery_window_s`` sizes the hit-rate windows of the recovery
     report (hit rate over the window before each kill, and over the
     window after each restart).
+
+    ``fate_groups`` model rack-style fate sharing: each group is a
+    tuple of replica indices that die together — when any member is
+    killed, every other member of its group is killed at the same
+    instant (lowest index first).  Restarts are unaffected; each
+    member needs its own restart event to rejoin.
     """
 
     events: Tuple[FailureEvent, ...] = ()
     recovery_window_s: float = 300.0
+    fate_groups: Tuple[Tuple[int, ...], ...] = ()
 
     def __post_init__(self) -> None:
         if self.recovery_window_s <= 0:
             raise ValueError("recovery_window_s must be positive")
+        for group in self.fate_groups:
+            if len(group) < 2:
+                raise ValueError(
+                    "each fate group needs at least two replicas"
+                )
+            if len(set(group)) != len(group):
+                raise ValueError(
+                    f"duplicate replica in fate group {group}"
+                )
+            if any(idx < 0 for idx in group):
+                raise ValueError("fate group replicas must be >= 0")
+
+
+def correlated_group(
+    time_s: float,
+    replicas: Tuple[int, ...],
+    action: str = "kill",
+    warm: bool = True,
+) -> Tuple[FailureEvent, ...]:
+    """Simultaneous failure events for several replicas.
+
+    The rack-loss / correlated-failure building block: every listed
+    replica gets the same ``action`` at the same instant, in replica
+    order (which is also the deterministic firing order at that tick).
+    """
+    return tuple(
+        FailureEvent(
+            time_s=time_s, replica=idx, action=action, warm=warm
+        )
+        for idx in replicas
+    )
+
+
+def cascade(
+    time_s: float,
+    replicas: Tuple[int, ...],
+    delay_s: float,
+    p: float = 1.0,
+    seed: str = "cascade",
+) -> Tuple[FailureEvent, ...]:
+    """A cascading kill schedule: one failure triggers the next.
+
+    The first replica dies at ``time_s``; each subsequent replica dies
+    ``delay_s`` later than the previous *included* kill, with
+    probability ``p`` (drawn deterministically from ``seed`` and the
+    replica's position, so the same schedule reproduces bit-for-bit).
+    ``p=1.0`` is a full restart-storm over every listed replica.
+    """
+    if delay_s < 0:
+        raise ValueError("delay_s must be non-negative")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    events = []
+    t = time_s
+    for position, idx in enumerate(replicas):
+        if position > 0:
+            draw = seed_for(seed, position) / 2**64
+            if draw >= p:
+                continue
+            t += delay_s
+        events.append(FailureEvent(time_s=t, replica=idx, action="kill"))
+    return tuple(events)
 
 
 #: Routing policies the cluster router implements
@@ -234,6 +303,18 @@ ROUTING_POLICIES: Tuple[str, ...] = (
     "round_robin",
     "least_loaded",
     "cache_affinity",
+)
+
+#: Cache migration policies for replica kills
+#: (``core/cluster_router.py`` keeps the matching registry).
+#: ``none`` drops a dead replica's cache (the historical default);
+#: ``nearest_centroid`` sends each entry of its last cache snapshot to
+#: the survivor whose centroid sketch is semantically nearest;
+#: ``round_robin`` deals entries across survivors in turn.
+MIGRATION_POLICIES: Tuple[str, ...] = (
+    "none",
+    "nearest_centroid",
+    "round_robin",
 )
 
 
@@ -264,6 +345,17 @@ class ClusterRoutingConfig:
     decision is bit-for-bit identical to running the wrapped engine
     directly (the seed golden regression pins this), and the autoscaler
     never runs.
+
+    ``journal`` opts into a cluster-level event journal (arrival
+    cohorts, routing, kills/restarts, transfers, migrations) even
+    without a failure plan; a failure plan implies it.
+    ``snapshot_period_s > 0`` additionally captures a periodic
+    ``ClusterSnapshot`` — router policy state, autoscaler PID state,
+    the shared clock, and every replica's full state — restorable into
+    a fresh fleet that resumes bit-identically.  ``migration_policy``
+    selects what happens to a killed replica's last cache snapshot
+    (:data:`MIGRATION_POLICIES`); the default ``none`` drops it,
+    matching historical behaviour bit-for-bit.
     """
 
     n_replicas: int = 1
@@ -278,6 +370,9 @@ class ClusterRoutingConfig:
     autoscale_kd: float = 0.1
     min_workers_per_replica: int = 1
     failures: Optional[FailurePlan] = None
+    migration_policy: str = "none"
+    journal: bool = False
+    snapshot_period_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_replicas < 1:
@@ -290,6 +385,24 @@ class ClusterRoutingConfig:
                         f"{event.replica} but n_replicas is "
                         f"{self.n_replicas}"
                     )
+            for group in self.failures.fate_groups:
+                for idx in group:
+                    if idx >= self.n_replicas:
+                        raise ValueError(
+                            f"fate group {group} names replica {idx} "
+                            f"but n_replicas is {self.n_replicas}"
+                        )
+        if self.migration_policy not in MIGRATION_POLICIES:
+            raise ValueError(
+                f"unknown migration policy "
+                f"{self.migration_policy!r}; "
+                f"available: {list(MIGRATION_POLICIES)}"
+            )
+        if self.snapshot_period_s < 0:
+            raise ValueError(
+                "snapshot_period_s must be >= 0 (0 = no periodic "
+                "cluster snapshots)"
+            )
         if self.policy not in ROUTING_POLICIES:
             raise ValueError(
                 f"unknown routing policy {self.policy!r}; "

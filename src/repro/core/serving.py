@@ -692,6 +692,17 @@ class BaseServingSystem:
             lambda now, recs=tuple(batch): self._arrive_batch(recs, now),
         )
 
+    def _arrive_cohort(
+        self, records: Sequence[RequestRecord], now: float
+    ) -> None:
+        """Deliver one trace arrival cohort (journal-suffix replay hook).
+
+        For a single engine this *is* ``_arrive_batch``; the cluster
+        overrides it to journal the cohort before routing, so replay can
+        distinguish trace cohorts from orphan re-routes.
+        """
+        self._arrive_batch(records, now)
+
     def _arrive_batch(
         self, records: Sequence[RequestRecord], now: float
     ) -> None:

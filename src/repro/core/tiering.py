@@ -1080,6 +1080,34 @@ class TieredVectorCache:
         self._index.clear()
         self.last_inserted = None
 
+    def snapshot_entries(
+        self, state: TieredCacheState
+    ) -> List[tuple]:
+        """``(entry_id, payload, embedding, inserted_at)`` per live
+        entry of a snapshot, ascending entry id (the cache-migration
+        surface).
+
+        The snapshot is block-free, so exact embeddings come from this
+        cache's append-only cold file: every row the snapshot references
+        sits below its ``cold_rows`` cursor and is never overwritten by
+        later inserts, so the file outlives a simulated crash and the
+        dead replica's rows stay readable for survivors to adopt.
+        """
+        slots = np.flatnonzero(state.live)
+        order = np.argsort(state.entry_ids[slots], kind="stable")
+        out: List[tuple] = []
+        for slot in slots[order]:
+            slot = int(slot)
+            out.append(
+                (
+                    int(state.entry_ids[slot]),
+                    state.payloads[slot],
+                    self._cold.read_row(int(state.cold_row_of[slot])),
+                    float(state.inserted_at[slot]),
+                )
+            )
+        return out
+
 
 class TieredImageCache(TieredVectorCache):
     """Tiered variant of :class:`~repro.core.cache.ImageCache`."""

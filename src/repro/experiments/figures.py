@@ -813,6 +813,66 @@ def fault_tolerance(
             failure.recovery_latency_s if failure else None
         )
         result.add_row(**row)
+
+    # Correlated failure: replicas 1 and 2 fate-share a rack and die
+    # together at the kill instant; both restart cold, so the only
+    # difference between the two cascade modes is whether survivors
+    # adopted the dead caches (``nearest_centroid``) or dropped them
+    # (``none``).  ``hit_rate_migrated`` is the fleet hit rate over the
+    # recovery window that ends one window after the kill — the period
+    # where adopted entries either serve re-routed neighbors or don't.
+    result.add_note(
+        "cascade rows: replicas 1+2 fate-share; both restart cold at "
+        f"t={restart_t:.0f}s; migrated vs dropped caches"
+    )
+
+    def cascade_plan() -> FailurePlan:
+        return FailurePlan(
+            events=(
+                FailureEvent(time_s=kill_t, replica=1, action="kill"),
+                FailureEvent(
+                    time_s=restart_t, replica=1, action="restart"
+                ),
+                FailureEvent(
+                    time_s=restart_t, replica=2, action="restart"
+                ),
+            ),
+            recovery_window_s=recovery_window,
+            fate_groups=((1, 2),),
+        )
+
+    for mode, migration in (
+        ("cascade-drop", "none"),
+        ("cascade-migrate", "nearest_centroid"),
+    ):
+        system = ctx.modm_cluster(
+            ClusterRoutingConfig(
+                n_replicas=n_replicas,
+                policy="cache_affinity",
+                autoscale=True,
+                failures=cascade_plan(),
+                migration_policy=migration,
+            ),
+            cluster=CLUSTER_MI210,
+            smalls=("sdxl",),
+            journal=journal,
+        )
+        system.warm_cache(warm)
+        report = system.run(serve)
+        row = {"mode": mode}
+        row.update(report.summary_row())
+        row["n_lost"] = report.n_lost
+        row["n_rerouted"] = report.n_rerouted
+        row["n_killed"] = len(report.failures)
+        row["n_migrated"] = sum(
+            rec.n_migrated for rec in report.failures
+        )
+        row["kill_time_s"] = kill_t
+        row["restart_time_s"] = restart_t
+        row["hit_rate_migrated"] = report.fleet.stats.window(
+            kill_t + recovery_window, recovery_window
+        ).hit_rate
+        result.add_row(**row)
     return result
 
 

@@ -21,6 +21,8 @@ from repro.core.journal import (
     DECISION,
     KIND_NAMES,
     EventJournal,
+    JournalKind,
+    JournalReplayer,
     SnapCounter,
     Snapshot,
 )
@@ -142,6 +144,56 @@ class TestEventJournal:
 # ----------------------------------------------------------------------
 # Journaling is behavior-neutral
 # ----------------------------------------------------------------------
+class TestJournalKind:
+    # The kind column is int8 and every committed golden digest covers
+    # it, so these values are wire format: frozen forever.
+    PINNED = {
+        "ARRIVAL": 0,
+        "DECISION": 1,
+        "DISPATCH": 2,
+        "COMPLETE": 3,
+        "SHED": 4,
+        "ALLOC": 5,
+        "SNAPSHOT": 6,
+        "ROUTE": 7,
+        "KILL": 8,
+        "RESTART": 9,
+        "TRANSFER": 10,
+        "PROMOTE": 11,
+        "DEMOTE": 12,
+        "MIGRATE": 13,
+    }
+
+    def test_values_are_pinned(self):
+        assert {k.name: int(k) for k in JournalKind} == self.PINNED
+
+    def test_module_aliases_are_the_members(self):
+        import repro.core.journal as journal
+
+        for name, value in self.PINNED.items():
+            alias = getattr(journal, name)
+            assert alias is JournalKind[name]
+            assert alias == value
+
+    def test_kind_names_mirror_the_enum(self):
+        assert KIND_NAMES == tuple(
+            k.name.lower() for k in JournalKind
+        )
+        assert len(KIND_NAMES) == len(self.PINNED)
+
+    def test_int8_round_trip(self):
+        # The journal stores kinds in an int8 column; every member must
+        # survive the narrowing and come back as the same member.
+        for kind in JournalKind:
+            assert JournalKind(int(np.int8(kind))) is kind
+
+    def test_members_are_ints_for_journal_append(self):
+        journal = EventJournal()
+        journal.append(1.0, JournalKind.MIGRATE, a=2, b=30, x=1.0)
+        assert journal.entries() == [(1.0, 13, 2, 30, 1.0)]
+        assert journal.kind_counts() == {"migrate": 1}
+
+
 class TestJournalNeutrality:
     def test_journal_off_by_default(self, space):
         system = MoDMSystem(space, _config())
@@ -223,6 +275,62 @@ class TestSnapshotRestore:
         fleet.run(_trace(space, n=10))
         with pytest.raises(ValueError, match="single-engine"):
             Snapshot.capture(fleet.replicas[0])
+
+
+# ----------------------------------------------------------------------
+# Journal-suffix replay: the journal is a sufficient record
+# ----------------------------------------------------------------------
+class TestJournalSuffixReplay:
+    def _straight(self, space, trace):
+        journal = JournalConfig(snapshot_period_s=45.0)
+        straight = MoDMSystem(space, _config(journal=journal))
+        payload = _run_payload(straight.run(trace))
+        assert len(straight.snapshots) >= 2
+        return straight, payload
+
+    def test_suffix_replay_is_bit_identical(self, space):
+        trace = _trace(space)
+        straight, payload = self._straight(space, trace)
+        reference = straight._journal.entries()
+
+        snapshot = straight.snapshots[len(straight.snapshots) // 2]
+        resumed = MoDMSystem(
+            space,
+            _config(journal=JournalConfig(snapshot_period_s=45.0)),
+        )
+        # No trace timeline: the journal's ARRIVAL suffix is the only
+        # source of future arrivals.
+        snapshot.restore(resumed, install_timeline=False)
+        replayer = JournalReplayer(resumed, reference)
+        assert replayer.n_cohorts > 0
+        report = replayer.replay(trace_name=trace.name)
+        replayer.verify()
+        assert _run_payload(report) == payload
+        assert resumed._journal.digest() == (
+            straight._journal.digest()
+        )
+
+    def test_replayer_requires_a_journal(self, space):
+        system = MoDMSystem(space, _config())
+        system.run(_trace(space, n=10))
+        with pytest.raises(ValueError, match="journaled system"):
+            JournalReplayer(system, [])
+
+    def test_replayer_rejects_prefix_mismatch(self, space):
+        trace = _trace(space, n=60)
+        straight, _payload_ = self._straight(space, trace)
+        reference = straight._journal.entries()
+        snapshot = straight.snapshots[-1]
+        resumed = MoDMSystem(
+            space,
+            _config(journal=JournalConfig(snapshot_period_s=45.0)),
+        )
+        snapshot.restore(resumed, install_timeline=False)
+        tampered = list(reference)
+        time, kind, a, b, x = tampered[0]
+        tampered[0] = (time, kind, a + 1, b, x)
+        with pytest.raises(ValueError, match="prefix mismatch"):
+            JournalReplayer(resumed, tampered)
 
 
 # ----------------------------------------------------------------------
